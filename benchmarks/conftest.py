@@ -1,0 +1,11 @@
+"""Pytest configuration for the benchmark harness.
+
+The benchmark modules live outside the installed package; this conftest
+only ensures the benchmarks directory itself is importable so they can
+share :mod:`bench_utils`.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,79 @@
+"""E3 -- operation latency under bounded link delays (Lemma V.4).
+
+Measures write, extended-write and read durations on the simulator with
+per-link delay bounds tau0 = tau1 = 1 and a sweep of tau2 = mu * tau1, and
+checks them against the closed-form bounds:
+
+* write           <= 4 tau1 + 2 tau0
+* extended write  <= max(3 tau1 + 2 tau0 + 2 tau2, 4 tau1 + 2 tau0)
+* read            <= max(6 tau1 + 2 tau2, 6 tau1 + 2 tau0 + tau2)
+"""
+
+import pytest
+
+from repro.core.analysis import latency_bounds
+from repro.core.config import LDSConfig
+from repro.core.system import LDSSystem
+from repro.net.latency import BoundedLatencyModel
+
+from bench_utils import emit_table
+
+MU_SWEEP = [2.0, 5.0, 10.0, 20.0]
+RUNS_PER_POINT = 5
+
+
+def _measure(mu: float):
+    config = LDSConfig(n1=5, n2=6, f1=1, f2=1)
+    write_durations, extended_durations, read_durations = [], [], []
+    for seed in range(RUNS_PER_POINT):
+        latency = BoundedLatencyModel(tau0=1.0, tau1=1.0, tau2=mu, seed=seed)
+        system = LDSSystem(config, num_writers=1, num_readers=1, latency_model=latency)
+        write = system.write(b"latency probe")
+        system.run_until_idle()
+        clear_time = system.storage.temporary_clear_time(write.tag)
+        write_durations.append(write.duration)
+        extended_durations.append((clear_time or write.responded_at) - write.invoked_at)
+        read_durations.append(system.read().duration)
+    return (max(write_durations), max(extended_durations), max(read_durations))
+
+
+def run_experiment():
+    rows = []
+    for mu in MU_SWEEP:
+        bounds = latency_bounds(1.0, 1.0, mu)
+        write_max, extended_max, read_max = _measure(mu)
+        rows.append((
+            f"mu={mu:g}",
+            f"{bounds.write:.1f}", f"{write_max:.2f}",
+            f"{bounds.extended_write:.1f}", f"{extended_max:.2f}",
+            f"{bounds.read:.1f}", f"{read_max:.2f}",
+        ))
+    emit_table(
+        "E3-latency", "Operation durations vs Lemma V.4 bounds (tau0=tau1=1, tau2=mu)",
+        ("point", "write bound", "write max", "ext-write bound", "ext-write max",
+         "read bound", "read max"),
+        rows,
+    )
+    return rows
+
+
+def test_bench_latency_bounds(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for row in rows:
+        assert float(row[2]) <= float(row[1]) + 1e-9
+        assert float(row[4]) <= float(row[3]) + 1e-9
+        assert float(row[6]) <= float(row[5]) + 1e-9
+
+
+def test_bench_read_latency_simulation_speed(benchmark):
+    """Wall-clock time of a quiescent (regenerating) read simulation."""
+    config = LDSConfig(n1=7, n2=9, f1=2, f2=2)
+    system = LDSSystem(config, latency_model=BoundedLatencyModel(seed=1))
+    system.write(b"warm value")
+    system.run_until_idle()
+
+    def one_read():
+        return system.read()
+
+    result = benchmark(one_read)
+    assert result.value == b"warm value"

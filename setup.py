@@ -1,0 +1,6 @@
+"""Compatibility shim so that legacy editable installs (``setup.py develop``)
+work on environments without the ``wheel`` package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""repro -- a full reproduction of "A Layered Architecture for Erasure-Coded
+Consistent Distributed Storage" (Konwar, Prakash, Lynch, Médard; PODC 2017).
+
+The package implements the LDS two-layer atomic storage algorithm together
+with every substrate it depends on:
+
+* ``repro.gf`` -- GF(2^8) arithmetic and linear algebra;
+* ``repro.codes`` -- Reed-Solomon, product-matrix MBR/MSR regenerating
+  codes, RLNC, replication, and the layered (C, C1, C2) code;
+* ``repro.net`` -- an asynchronous message-passing discrete-event
+  simulator with crash failures and per-link latency bounds;
+* ``repro.core`` -- the LDS protocol (clients, L1 servers, L2 servers),
+  cost accounting and the closed-form analysis of Section V;
+* ``repro.baselines`` -- ABD (replication) and CAS (single-layer coded)
+  atomic registers for comparison;
+* ``repro.consistency`` -- operation histories and atomicity checking;
+* ``repro.workloads`` -- workload generation and measurement.
+
+Quickstart::
+
+    from repro import LDSConfig, LDSSystem
+
+    config = LDSConfig(n1=5, n2=6, f1=1, f2=1)
+    system = LDSSystem(config, num_writers=1, num_readers=1)
+    system.write(b"hello edge storage")
+    print(system.read().value)
+"""
+
+from repro.core.config import LDSConfig
+from repro.core.system import LDSSystem
+from repro.core.tags import Tag
+from repro.core.multi_object import MultiObjectSystem
+from repro.baselines import ABDSystem, CASSystem
+from repro.codes import (
+    LayeredCode,
+    ProductMatrixMBRCode,
+    ProductMatrixMSRCode,
+    ReedSolomonCode,
+    ReplicationCode,
+)
+from repro.consistency import History, LinearizabilityChecker, check_atomicity_by_tags
+from repro.net import (
+    BoundedLatencyModel,
+    ExponentialLatencyModel,
+    FixedLatencyModel,
+    Network,
+    Simulator,
+)
+from repro.workloads import Workload, WorkloadGenerator, WorkloadRunner
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LDSConfig",
+    "LDSSystem",
+    "MultiObjectSystem",
+    "Tag",
+    "ABDSystem",
+    "CASSystem",
+    "LayeredCode",
+    "ProductMatrixMBRCode",
+    "ProductMatrixMSRCode",
+    "ReedSolomonCode",
+    "ReplicationCode",
+    "History",
+    "LinearizabilityChecker",
+    "check_atomicity_by_tags",
+    "Simulator",
+    "Network",
+    "FixedLatencyModel",
+    "BoundedLatencyModel",
+    "ExponentialLatencyModel",
+    "Workload",
+    "WorkloadGenerator",
+    "WorkloadRunner",
+    "__version__",
+]

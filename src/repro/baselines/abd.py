@@ -1,0 +1,385 @@
+"""The ABD replicated atomic register (multi-writer multi-reader variant).
+
+This is the classic algorithm of Attiya, Bar-Noy and Dolev [3] adapted to
+multiple writers: a single layer of ``n`` servers each storing a full
+(tag, value) replica, tolerating ``f < n / 2`` crashes with majority
+quorums.
+
+* **write**: query a majority for their tags, pick the maximum, bump it,
+  send the new (tag, value) to all servers, wait for a majority of acks.
+* **read**: query a majority for their (tag, value) pairs, pick the pair
+  with the maximum tag, write it back to a majority, and return the value.
+
+Costs (normalised, value size = 1): a write transfers the value to all
+``n`` servers (cost ``n``); a read downloads up to ``n`` values and writes
+the chosen one back (cost up to ``2 n``); every server stores a full copy
+(storage cost ``n``).  These are the comparison numbers the paper's
+Figure 6 discussion quotes for a replicated back-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Union
+
+from repro.consistency.history import History, OperationRecorder, READ, WRITE
+from repro.core.results import OperationResult
+from repro.core.tags import Tag
+from repro.net.latency import CLIENT, L1, LatencyModel
+from repro.net.messages import Message
+from repro.net.network import Network
+from repro.net.process import Process
+from repro.net.simulator import Simulator
+
+
+# -- messages -------------------------------------------------------------------
+
+@dataclass
+class AbdQueryTag(Message):
+    """Writer phase 1: request the server's tag."""
+
+
+@dataclass
+class AbdQueryTagResponse(Message):
+    tag: Tag = field(default_factory=Tag.initial)
+
+
+@dataclass
+class AbdPutData(Message):
+    """Writer phase 2 / reader write-back: store (tag, value) if newer."""
+
+    tag: Tag = field(default_factory=Tag.initial)
+    value: bytes = b""
+
+
+@dataclass
+class AbdPutDataAck(Message):
+    tag: Tag = field(default_factory=Tag.initial)
+
+
+@dataclass
+class AbdQueryData(Message):
+    """Reader phase 1: request the server's (tag, value) pair."""
+
+
+@dataclass
+class AbdQueryDataResponse(Message):
+    tag: Tag = field(default_factory=Tag.initial)
+    value: bytes = b""
+
+
+# -- server ------------------------------------------------------------------------
+
+class ABDServer(Process):
+    """A replica server storing a single (tag, value) pair."""
+
+    def __init__(self, pid: str, initial_value: bytes) -> None:
+        super().__init__(pid, link_class=L1)
+        self.stored_tag = Tag.initial()
+        self.stored_value = initial_value
+
+    def on_message(self, sender: str, message: Message) -> None:
+        if isinstance(message, AbdQueryTag):
+            self.send(sender, AbdQueryTagResponse(tag=self.stored_tag, op_id=message.op_id))
+        elif isinstance(message, AbdQueryData):
+            self.send(
+                sender,
+                AbdQueryDataResponse(
+                    tag=self.stored_tag, value=self.stored_value,
+                    data_size=1.0, op_id=message.op_id,
+                ),
+            )
+        elif isinstance(message, AbdPutData):
+            if message.tag > self.stored_tag:
+                self.stored_tag = message.tag
+                self.stored_value = message.value
+            self.send(sender, AbdPutDataAck(tag=message.tag, op_id=message.op_id))
+
+
+# -- clients -----------------------------------------------------------------------------
+
+class ABDWriter(Process):
+    """ABD writer: query-tag then put-data, both against a majority."""
+
+    def __init__(self, pid: str, server_pids: List[str], quorum: int) -> None:
+        super().__init__(pid, link_class=CLIENT)
+        self.server_pids = server_pids
+        self.quorum = quorum
+        self._counter = 0
+        self._phase: Optional[str] = None
+        self._op_id: Optional[str] = None
+        self._value: bytes = b""
+        self._callback: Optional[Callable[[OperationResult], None]] = None
+        self._invoked_at = 0.0
+        self._responders: Set[str] = set()
+        self._max_tag = Tag.initial()
+        self._write_tag: Optional[Tag] = None
+
+    @property
+    def busy(self) -> bool:
+        return self._phase is not None
+
+    def write(self, value: bytes, callback=None, op_id=None) -> str:
+        if self.busy:
+            raise RuntimeError(f"writer {self.pid} already has an operation in flight")
+        self._counter += 1
+        self._op_id = op_id or f"{self.pid}:write-{self._counter}"
+        self._value = bytes(value)
+        self._callback = callback
+        self._invoked_at = self.now
+        self._responders = set()
+        self._max_tag = Tag.initial()
+        self._phase = "query"
+        for server in self.server_pids:
+            self.send(server, AbdQueryTag(op_id=self._op_id))
+        return self._op_id
+
+    def on_message(self, sender: str, message: Message) -> None:
+        if message.op_id != self._op_id or self._phase is None:
+            return
+        if self._phase == "query" and isinstance(message, AbdQueryTagResponse):
+            if sender in self._responders:
+                return
+            self._responders.add(sender)
+            self._max_tag = max(self._max_tag, message.tag)
+            if len(self._responders) < self.quorum:
+                return
+            self._write_tag = self._max_tag.next_tag(self.pid)
+            self._phase = "put"
+            self._responders = set()
+            for server in self.server_pids:
+                self.send(
+                    server,
+                    AbdPutData(tag=self._write_tag, value=self._value,
+                               data_size=1.0, op_id=self._op_id),
+                )
+        elif self._phase == "put" and isinstance(message, AbdPutDataAck):
+            if message.tag != self._write_tag or sender in self._responders:
+                return
+            self._responders.add(sender)
+            if len(self._responders) < self.quorum:
+                return
+            result = OperationResult(
+                op_id=self._op_id or "", client_id=self.pid, kind=WRITE,
+                tag=self._write_tag or Tag.initial(), value=self._value,
+                invoked_at=self._invoked_at, responded_at=self.now,
+            )
+            callback = self._callback
+            self._phase = None
+            self._op_id = None
+            if callback is not None:
+                callback(result)
+
+
+class ABDReader(Process):
+    """ABD reader: query-data then write-back, both against a majority."""
+
+    def __init__(self, pid: str, server_pids: List[str], quorum: int) -> None:
+        super().__init__(pid, link_class=CLIENT)
+        self.server_pids = server_pids
+        self.quorum = quorum
+        self._counter = 0
+        self._phase: Optional[str] = None
+        self._op_id: Optional[str] = None
+        self._callback: Optional[Callable[[OperationResult], None]] = None
+        self._invoked_at = 0.0
+        self._responders: Set[str] = set()
+        self._best_tag = Tag.initial()
+        self._best_value: bytes = b""
+
+    @property
+    def busy(self) -> bool:
+        return self._phase is not None
+
+    def read(self, callback=None, op_id=None) -> str:
+        if self.busy:
+            raise RuntimeError(f"reader {self.pid} already has an operation in flight")
+        self._counter += 1
+        self._op_id = op_id or f"{self.pid}:read-{self._counter}"
+        self._callback = callback
+        self._invoked_at = self.now
+        self._responders = set()
+        self._best_tag = Tag.initial()
+        self._best_value = b""
+        self._phase = "query"
+        for server in self.server_pids:
+            self.send(server, AbdQueryData(op_id=self._op_id))
+        return self._op_id
+
+    def on_message(self, sender: str, message: Message) -> None:
+        if message.op_id != self._op_id or self._phase is None:
+            return
+        if self._phase == "query" and isinstance(message, AbdQueryDataResponse):
+            if sender in self._responders:
+                return
+            self._responders.add(sender)
+            if message.tag > self._best_tag or (
+                message.tag == self._best_tag and not self._best_value
+            ):
+                self._best_tag = message.tag
+                self._best_value = message.value
+            if len(self._responders) < self.quorum:
+                return
+            self._phase = "write-back"
+            self._responders = set()
+            for server in self.server_pids:
+                self.send(
+                    server,
+                    AbdPutData(tag=self._best_tag, value=self._best_value,
+                               data_size=1.0, op_id=self._op_id),
+                )
+        elif self._phase == "write-back" and isinstance(message, AbdPutDataAck):
+            if message.tag != self._best_tag or sender in self._responders:
+                return
+            self._responders.add(sender)
+            if len(self._responders) < self.quorum:
+                return
+            result = OperationResult(
+                op_id=self._op_id or "", client_id=self.pid, kind=READ,
+                tag=self._best_tag, value=self._best_value,
+                invoked_at=self._invoked_at, responded_at=self.now,
+            )
+            callback = self._callback
+            self._phase = None
+            self._op_id = None
+            if callback is not None:
+                callback(result)
+
+
+# -- system facade -------------------------------------------------------------------------
+
+class ABDSystem:
+    """A simulated single-layer ABD deployment with the LDSSystem driving API."""
+
+    def __init__(self, n: int, f: Optional[int] = None, num_writers: int = 1,
+                 num_readers: int = 1, latency_model: Optional[LatencyModel] = None,
+                 initial_value: bytes = b"\x00", object_id: str = "object-0") -> None:
+        if n < 1:
+            raise ValueError("ABD requires at least one server")
+        if f is None:
+            f = (n - 1) // 2
+        if not f < n / 2:
+            raise ValueError("ABD requires f < n / 2")
+        self.n = n
+        self.f = f
+        self.quorum = n - f  # a majority when f is maximal; always intersects.
+        self.object_id = object_id
+        self.initial_value = initial_value
+        self.simulator = Simulator()
+        self.network = Network(simulator=self.simulator, latency_model=latency_model)
+        self.recorder = OperationRecorder(initial_value=initial_value)
+        self.results: Dict[str, OperationResult] = {}
+
+        self.server_pids = [f"abd-{i}" for i in range(n)]
+        self.servers = [ABDServer(pid, initial_value) for pid in self.server_pids]
+        self.network.register_all(self.servers)
+        self.writers = [
+            ABDWriter(f"writer-{i}", self.server_pids, self.quorum) for i in range(num_writers)
+        ]
+        self.readers = [
+            ABDReader(f"reader-{i}", self.server_pids, self.quorum) for i in range(num_readers)
+        ]
+        self.network.register_all(self.writers)
+        self.network.register_all(self.readers)
+
+    # -- driving API (mirrors LDSSystem) ----------------------------------------------
+
+    def _record_completion(self, result: OperationResult) -> None:
+        self.results[result.op_id] = result
+        self.recorder.respond(
+            result.op_id, time=result.responded_at,
+            value=result.value if result.kind == READ else None, tag=result.tag,
+        )
+
+    def _allocate_op_id(self, client_pid: str, kind: str) -> str:
+        sequences = getattr(self, "_op_sequences", None)
+        if sequences is None:
+            sequences = {}
+            self._op_sequences = sequences
+        key = (client_pid, kind)
+        sequences[key] = sequences.get(key, 0) + 1
+        return f"{client_pid}:{kind}-{sequences[key]}"
+
+    def invoke_write(self, value: bytes, writer: Union[int, str] = 0,
+                     at: Optional[float] = None) -> str:
+        client = self.writers[writer] if isinstance(writer, int) else next(
+            w for w in self.writers if w.pid == writer
+        )
+        op_id = self._allocate_op_id(client.pid, "write")
+
+        def start() -> None:
+            started = client.write(bytes(value), self._record_completion, op_id=op_id)
+            self.recorder.invoke(started, client_id=client.pid, kind=WRITE,
+                                 object_id=self.object_id, value=bytes(value),
+                                 time=self.simulator.now)
+
+        if at is None:
+            start()
+        else:
+            self.simulator.schedule_at(at, start)
+        return op_id
+
+    def invoke_read(self, reader: Union[int, str] = 0, at: Optional[float] = None) -> str:
+        client = self.readers[reader] if isinstance(reader, int) else next(
+            r for r in self.readers if r.pid == reader
+        )
+        op_id = self._allocate_op_id(client.pid, "read")
+
+        def start() -> None:
+            started = client.read(self._record_completion, op_id=op_id)
+            self.recorder.invoke(started, client_id=client.pid, kind=READ,
+                                 object_id=self.object_id, value=None,
+                                 time=self.simulator.now)
+
+        if at is None:
+            start()
+        else:
+            self.simulator.schedule_at(at, start)
+        return op_id
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.network.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        self.network.run_until_idle(max_events=max_events)
+
+    def run_until_complete(self, op_id: str, max_events: int = 10_000_000) -> OperationResult:
+        executed = 0
+        while op_id not in self.results:
+            if not self.simulator.step():
+                raise RuntimeError(f"operation {op_id} did not complete")
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(f"operation {op_id} exceeded the event budget")
+        return self.results[op_id]
+
+    def write(self, value: bytes, writer: Union[int, str] = 0) -> OperationResult:
+        return self.run_until_complete(self.invoke_write(value, writer=writer))
+
+    def read(self, reader: Union[int, str] = 0) -> OperationResult:
+        return self.run_until_complete(self.invoke_read(reader=reader))
+
+    def crash_server(self, index: int, at: Optional[float] = None) -> None:
+        pid = self.server_pids[index]
+        if at is None:
+            self.network.crash(pid)
+        else:
+            self.simulator.schedule_at(at, lambda: self.network.crash(pid))
+
+    def history(self) -> History:
+        return self.recorder.history()
+
+    def operation_cost(self, op_id: str) -> float:
+        return self.network.costs.operation_cost(op_id)
+
+    @property
+    def communication_cost(self) -> float:
+        return self.network.costs.total
+
+    @property
+    def storage_cost(self) -> float:
+        """Normalised storage cost: every live server stores one full value."""
+        return float(sum(1 for server in self.servers if not server.crashed))
+
+
+__all__ = ["ABDSystem", "ABDServer", "ABDWriter", "ABDReader"]

@@ -1,0 +1,463 @@
+"""A single-layer erasure-coded atomic register (CAS-style baseline).
+
+This baseline follows the Coded Atomic Storage algorithm of Cadambe,
+Lynch, Médard and Musial [6]: one layer of ``n`` servers stores
+Reed-Solomon coded elements of the value, using quorums of size
+``ceil((n + k) / 2)``; any two quorums intersect in at least ``k``
+servers, which is what makes decoding during reads possible.
+
+* **write** (three phases): *query-tag* collects the maximum finalized
+  tag from a quorum; *pre-write* sends one coded element (size ``1/k``) to
+  every server and waits for a quorum of acks; *finalize* marks the tag
+  ``fin`` at a quorum.
+* **read** (two phases): *query-tag* collects the maximum finalized tag
+  ``t_r`` from a quorum; *finalize-and-get* asks every server for its
+  coded element of ``t_r`` (also propagating the ``fin`` label) and waits
+  for a quorum of responses of which at least ``k`` carry coded elements,
+  then decodes.
+
+Garbage collection follows the CASGC variant: a server keeps coded
+elements only for the ``gc_depth`` highest finalized tags it knows about
+(older elements are replaced by tombstones), which bounds storage at
+``(gc_depth) * n / k`` per object.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Union
+
+from repro.codes.base import CodedElement, DecodingError
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.consistency.history import History, OperationRecorder, READ, WRITE
+from repro.core.results import OperationResult
+from repro.core.tags import Tag
+from repro.net.latency import CLIENT, L1, LatencyModel
+from repro.net.messages import Message
+from repro.net.network import Network
+from repro.net.process import Process
+from repro.net.simulator import Simulator
+
+
+# -- messages --------------------------------------------------------------------
+
+@dataclass
+class CasQueryTag(Message):
+    """Query the server's maximum finalized tag."""
+
+
+@dataclass
+class CasQueryTagResponse(Message):
+    tag: Tag = field(default_factory=Tag.initial)
+
+
+@dataclass
+class CasPreWrite(Message):
+    """Pre-write one coded element under a tag (size 1/k)."""
+
+    tag: Tag = field(default_factory=Tag.initial)
+    coded_element: bytes = b""
+
+
+@dataclass
+class CasPreWriteAck(Message):
+    tag: Tag = field(default_factory=Tag.initial)
+
+
+@dataclass
+class CasFinalize(Message):
+    """Mark a tag as finalized (metadata only)."""
+
+    tag: Tag = field(default_factory=Tag.initial)
+
+
+@dataclass
+class CasFinalizeAck(Message):
+    tag: Tag = field(default_factory=Tag.initial)
+
+
+@dataclass
+class CasReadRequest(Message):
+    """Reader phase 2: finalize the tag and request the coded element."""
+
+    tag: Tag = field(default_factory=Tag.initial)
+
+
+@dataclass
+class CasReadResponse(Message):
+    tag: Tag = field(default_factory=Tag.initial)
+    coded_element: Optional[bytes] = None
+    has_element: bool = False
+
+
+# -- server -------------------------------------------------------------------------
+
+class CASServer(Process):
+    """One server of the single-layer coded register."""
+
+    def __init__(self, pid: str, index: int, gc_depth: int = 2) -> None:
+        super().__init__(pid, link_class=L1)
+        self.index = index
+        self.gc_depth = gc_depth
+        #: tag -> coded element bytes (None once garbage collected).
+        self.elements: Dict[Tag, Optional[bytes]] = {}
+        self.finalized: Set[Tag] = {Tag.initial()}
+
+    def max_finalized_tag(self) -> Tag:
+        return max(self.finalized)
+
+    def _garbage_collect(self) -> None:
+        """Keep coded elements only for the gc_depth highest finalized tags."""
+        keep = set(sorted(self.finalized, reverse=True)[: self.gc_depth])
+        for tag in list(self.elements):
+            if tag not in keep and self.elements[tag] is not None and tag in self.finalized:
+                self.elements[tag] = None
+
+    def on_message(self, sender: str, message: Message) -> None:
+        if isinstance(message, CasQueryTag):
+            self.send(sender, CasQueryTagResponse(tag=self.max_finalized_tag(),
+                                                  op_id=message.op_id))
+        elif isinstance(message, CasPreWrite):
+            self.elements.setdefault(message.tag, message.coded_element)
+            self.send(sender, CasPreWriteAck(tag=message.tag, op_id=message.op_id))
+        elif isinstance(message, CasFinalize):
+            self.finalized.add(message.tag)
+            self._garbage_collect()
+            self.send(sender, CasFinalizeAck(tag=message.tag, op_id=message.op_id))
+        elif isinstance(message, CasReadRequest):
+            self.finalized.add(message.tag)
+            element = self.elements.get(message.tag)
+            data_size = 0.0
+            has_element = element is not None
+            if has_element:
+                data_size = 1.0 / max(1, self._k_hint)
+            self.send(
+                sender,
+                CasReadResponse(tag=message.tag, coded_element=element,
+                                has_element=has_element, data_size=data_size,
+                                op_id=message.op_id),
+            )
+            self._garbage_collect()
+
+    #: Set by the system so responses can be sized as 1/k without carrying
+    #: the full code object into every server.
+    _k_hint: int = 1
+
+
+# -- clients ---------------------------------------------------------------------------
+
+class CASWriter(Process):
+    """Three-phase CAS writer."""
+
+    def __init__(self, pid: str, server_pids: List[str], quorum: int,
+                 code: ReedSolomonCode) -> None:
+        super().__init__(pid, link_class=CLIENT)
+        self.server_pids = server_pids
+        self.quorum = quorum
+        self.code = code
+        self._counter = 0
+        self._phase: Optional[str] = None
+        self._op_id: Optional[str] = None
+        self._value: bytes = b""
+        self._callback = None
+        self._invoked_at = 0.0
+        self._responders: Set[str] = set()
+        self._max_tag = Tag.initial()
+        self._write_tag: Optional[Tag] = None
+
+    @property
+    def busy(self) -> bool:
+        return self._phase is not None
+
+    def write(self, value: bytes, callback=None, op_id=None) -> str:
+        if self.busy:
+            raise RuntimeError(f"writer {self.pid} already has an operation in flight")
+        self._counter += 1
+        self._op_id = op_id or f"{self.pid}:write-{self._counter}"
+        self._value = bytes(value)
+        self._callback = callback
+        self._invoked_at = self.now
+        self._responders = set()
+        self._max_tag = Tag.initial()
+        self._phase = "query"
+        for server in self.server_pids:
+            self.send(server, CasQueryTag(op_id=self._op_id))
+        return self._op_id
+
+    def on_message(self, sender: str, message: Message) -> None:
+        if message.op_id != self._op_id or self._phase is None:
+            return
+        if self._phase == "query" and isinstance(message, CasQueryTagResponse):
+            if sender in self._responders:
+                return
+            self._responders.add(sender)
+            self._max_tag = max(self._max_tag, message.tag)
+            if len(self._responders) < self.quorum:
+                return
+            self._write_tag = self._max_tag.next_tag(self.pid)
+            self._phase = "pre-write"
+            self._responders = set()
+            elements = self.code.encode(self._value)
+            for index, server in enumerate(self.server_pids):
+                self.send(
+                    server,
+                    CasPreWrite(tag=self._write_tag, coded_element=elements[index].data,
+                                data_size=1.0 / self.code.k, op_id=self._op_id),
+                )
+        elif self._phase == "pre-write" and isinstance(message, CasPreWriteAck):
+            if message.tag != self._write_tag or sender in self._responders:
+                return
+            self._responders.add(sender)
+            if len(self._responders) < self.quorum:
+                return
+            self._phase = "finalize"
+            self._responders = set()
+            for server in self.server_pids:
+                self.send(server, CasFinalize(tag=self._write_tag, op_id=self._op_id))
+        elif self._phase == "finalize" and isinstance(message, CasFinalizeAck):
+            if message.tag != self._write_tag or sender in self._responders:
+                return
+            self._responders.add(sender)
+            if len(self._responders) < self.quorum:
+                return
+            result = OperationResult(
+                op_id=self._op_id or "", client_id=self.pid, kind=WRITE,
+                tag=self._write_tag or Tag.initial(), value=self._value,
+                invoked_at=self._invoked_at, responded_at=self.now,
+            )
+            callback = self._callback
+            self._phase = None
+            self._op_id = None
+            if callback is not None:
+                callback(result)
+
+
+class CASReader(Process):
+    """Two-phase CAS reader."""
+
+    def __init__(self, pid: str, server_pids: List[str], quorum: int,
+                 code: ReedSolomonCode, initial_value: bytes) -> None:
+        super().__init__(pid, link_class=CLIENT)
+        self.server_pids = server_pids
+        self.quorum = quorum
+        self.code = code
+        self.initial_value = initial_value
+        self._server_index = {pid: i for i, pid in enumerate(server_pids)}
+        self._counter = 0
+        self._phase: Optional[str] = None
+        self._op_id: Optional[str] = None
+        self._callback = None
+        self._invoked_at = 0.0
+        self._responders: Set[str] = set()
+        self._max_tag = Tag.initial()
+        self._elements: Dict[int, bytes] = {}
+
+    @property
+    def busy(self) -> bool:
+        return self._phase is not None
+
+    def read(self, callback=None, op_id=None) -> str:
+        if self.busy:
+            raise RuntimeError(f"reader {self.pid} already has an operation in flight")
+        self._counter += 1
+        self._op_id = op_id or f"{self.pid}:read-{self._counter}"
+        self._callback = callback
+        self._invoked_at = self.now
+        self._responders = set()
+        self._max_tag = Tag.initial()
+        self._elements = {}
+        self._phase = "query"
+        for server in self.server_pids:
+            self.send(server, CasQueryTag(op_id=self._op_id))
+        return self._op_id
+
+    def on_message(self, sender: str, message: Message) -> None:
+        if message.op_id != self._op_id or self._phase is None:
+            return
+        if self._phase == "query" and isinstance(message, CasQueryTagResponse):
+            if sender in self._responders:
+                return
+            self._responders.add(sender)
+            self._max_tag = max(self._max_tag, message.tag)
+            if len(self._responders) < self.quorum:
+                return
+            self._phase = "get"
+            self._responders = set()
+            for server in self.server_pids:
+                self.send(server, CasReadRequest(tag=self._max_tag, op_id=self._op_id))
+        elif self._phase == "get" and isinstance(message, CasReadResponse):
+            if sender in self._responders:
+                return
+            self._responders.add(sender)
+            if message.has_element and message.coded_element is not None:
+                self._elements[self._server_index[sender]] = message.coded_element
+            if len(self._responders) < self.quorum:
+                return
+            if self._max_tag == Tag.initial():
+                value = self.initial_value
+            else:
+                if len(self._elements) < self.code.k:
+                    return
+                try:
+                    value = self.code.decode(
+                        [CodedElement(index=i, data=data) for i, data in self._elements.items()]
+                    )
+                except DecodingError:
+                    return
+            result = OperationResult(
+                op_id=self._op_id or "", client_id=self.pid, kind=READ,
+                tag=self._max_tag, value=value,
+                invoked_at=self._invoked_at, responded_at=self.now,
+            )
+            callback = self._callback
+            self._phase = None
+            self._op_id = None
+            if callback is not None:
+                callback(result)
+
+
+# -- system facade --------------------------------------------------------------------------
+
+class CASSystem:
+    """A simulated single-layer coded atomic register with the LDSSystem API."""
+
+    def __init__(self, n: int, k: int, num_writers: int = 1, num_readers: int = 1,
+                 latency_model: Optional[LatencyModel] = None,
+                 initial_value: bytes = b"\x00", gc_depth: int = 2,
+                 object_id: str = "object-0") -> None:
+        if not 1 <= k <= n:
+            raise ValueError("CAS requires 1 <= k <= n")
+        self.n = n
+        self.k = k
+        self.quorum = math.ceil((n + k) / 2)
+        self.f = n - self.quorum  # tolerated failures
+        self.object_id = object_id
+        self.initial_value = initial_value
+        self.code = ReedSolomonCode(n, k)
+        self.simulator = Simulator()
+        self.network = Network(simulator=self.simulator, latency_model=latency_model)
+        self.recorder = OperationRecorder(initial_value=initial_value)
+        self.results: Dict[str, OperationResult] = {}
+
+        self.server_pids = [f"cas-{i}" for i in range(n)]
+        self.servers = [CASServer(pid, index, gc_depth=gc_depth)
+                        for index, pid in enumerate(self.server_pids)]
+        for server in self.servers:
+            server._k_hint = k
+        self.network.register_all(self.servers)
+        self.writers = [CASWriter(f"writer-{i}", self.server_pids, self.quorum, self.code)
+                        for i in range(num_writers)]
+        self.readers = [CASReader(f"reader-{i}", self.server_pids, self.quorum, self.code,
+                                  initial_value)
+                        for i in range(num_readers)]
+        self.network.register_all(self.writers)
+        self.network.register_all(self.readers)
+
+    # -- driving API ---------------------------------------------------------------------
+
+    def _record_completion(self, result: OperationResult) -> None:
+        self.results[result.op_id] = result
+        self.recorder.respond(
+            result.op_id, time=result.responded_at,
+            value=result.value if result.kind == READ else None, tag=result.tag,
+        )
+
+    def _allocate_op_id(self, client_pid: str, kind: str) -> str:
+        sequences = getattr(self, "_op_sequences", None)
+        if sequences is None:
+            sequences = {}
+            self._op_sequences = sequences
+        key = (client_pid, kind)
+        sequences[key] = sequences.get(key, 0) + 1
+        return f"{client_pid}:{kind}-{sequences[key]}"
+
+    def invoke_write(self, value: bytes, writer: Union[int, str] = 0,
+                     at: Optional[float] = None) -> str:
+        client = self.writers[writer] if isinstance(writer, int) else next(
+            w for w in self.writers if w.pid == writer
+        )
+        op_id = self._allocate_op_id(client.pid, "write")
+
+        def start() -> None:
+            started = client.write(bytes(value), self._record_completion, op_id=op_id)
+            self.recorder.invoke(started, client_id=client.pid, kind=WRITE,
+                                 object_id=self.object_id, value=bytes(value),
+                                 time=self.simulator.now)
+
+        if at is None:
+            start()
+        else:
+            self.simulator.schedule_at(at, start)
+        return op_id
+
+    def invoke_read(self, reader: Union[int, str] = 0, at: Optional[float] = None) -> str:
+        client = self.readers[reader] if isinstance(reader, int) else next(
+            r for r in self.readers if r.pid == reader
+        )
+        op_id = self._allocate_op_id(client.pid, "read")
+
+        def start() -> None:
+            started = client.read(self._record_completion, op_id=op_id)
+            self.recorder.invoke(started, client_id=client.pid, kind=READ,
+                                 object_id=self.object_id, value=None,
+                                 time=self.simulator.now)
+
+        if at is None:
+            start()
+        else:
+            self.simulator.schedule_at(at, start)
+        return op_id
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        self.network.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        self.network.run_until_idle(max_events=max_events)
+
+    def run_until_complete(self, op_id: str, max_events: int = 10_000_000) -> OperationResult:
+        executed = 0
+        while op_id not in self.results:
+            if not self.simulator.step():
+                raise RuntimeError(f"operation {op_id} did not complete")
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(f"operation {op_id} exceeded the event budget")
+        return self.results[op_id]
+
+    def write(self, value: bytes, writer: Union[int, str] = 0) -> OperationResult:
+        return self.run_until_complete(self.invoke_write(value, writer=writer))
+
+    def read(self, reader: Union[int, str] = 0) -> OperationResult:
+        return self.run_until_complete(self.invoke_read(reader=reader))
+
+    def crash_server(self, index: int, at: Optional[float] = None) -> None:
+        pid = self.server_pids[index]
+        if at is None:
+            self.network.crash(pid)
+        else:
+            self.simulator.schedule_at(at, lambda: self.network.crash(pid))
+
+    def history(self) -> History:
+        return self.recorder.history()
+
+    def operation_cost(self, op_id: str) -> float:
+        return self.network.costs.operation_cost(op_id)
+
+    @property
+    def communication_cost(self) -> float:
+        return self.network.costs.total
+
+    @property
+    def storage_cost(self) -> float:
+        """Normalised storage: each live coded element counts 1/k."""
+        total = 0.0
+        for server in self.servers:
+            if server.crashed:
+                continue
+            total += sum(1.0 / self.k for element in server.elements.values()
+                         if element is not None)
+        return total
+
+
+__all__ = ["CASSystem", "CASServer", "CASWriter", "CASReader"]

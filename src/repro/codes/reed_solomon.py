@@ -1,0 +1,92 @@
+"""Reed-Solomon (MDS) codes over GF(2^8).
+
+An ``(n, k)`` Reed-Solomon code encodes ``k`` payload symbols into ``n``
+coded symbols such that any ``k`` of them suffice to decode.  The paper
+uses Reed-Solomon codes as the representative of "popular erasure codes"
+that regenerating codes are compared against: they are storage-optimal
+(MSR-like) but a repair or recreation of one symbol requires downloading
+``k`` full symbols.
+
+The implementation uses a Vandermonde generator matrix; decoding inverts
+the k x k submatrix formed by the surviving rows.  A systematic variant is
+available so that the first ``k`` coded symbols equal the payload.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+import numpy as np
+
+from repro.codes.base import DecodingError, ErasureCode
+from repro.gf.builders import systematic_vandermonde, vandermonde_matrix
+from repro.gf.matrix import GFMatrix, SingularMatrixError
+
+
+class ReedSolomonCode(ErasureCode):
+    """An (n, k) MDS code built from a Vandermonde generator matrix."""
+
+    def __init__(self, n: int, k: int, systematic: bool = False) -> None:
+        if not 1 <= k <= n:
+            raise ValueError("Reed-Solomon requires 1 <= k <= n")
+        if n > 255:
+            raise ValueError("GF(2^8) Reed-Solomon supports at most n = 255")
+        self.n = n
+        self.k = k
+        self.systematic = systematic
+        builder = systematic_vandermonde if systematic else vandermonde_matrix
+        self.generator: GFMatrix = builder(n, k)
+
+    @property
+    def block_size(self) -> int:
+        return self.k
+
+    @property
+    def element_size(self) -> int:
+        return 1
+
+    # -- block-level codec --------------------------------------------------
+
+    def encode_block(self, block: np.ndarray) -> List[np.ndarray]:
+        block = np.asarray(block, dtype=np.uint8)
+        if block.size != self.k:
+            raise ValueError(f"block must contain k={self.k} symbols")
+        codeword = self.generator.matvec(block)
+        return [np.array([codeword[i]], dtype=np.uint8) for i in range(self.n)]
+
+    def decode_block(self, elements: Mapping[int, np.ndarray]) -> np.ndarray:
+        if len(elements) < self.k:
+            raise DecodingError(
+                f"Reed-Solomon decode requires k={self.k} elements, got {len(elements)}"
+            )
+        indices = sorted(elements)[: self.k]
+        for index in indices:
+            if not 0 <= index < self.n:
+                raise DecodingError(f"invalid symbol index {index}")
+        submatrix = self.generator.submatrix(indices)
+        received = np.array(
+            [int(np.asarray(elements[i], dtype=np.uint8).reshape(-1)[0]) for i in indices],
+            dtype=np.uint8,
+        )
+        try:
+            return submatrix.solve(received)
+        except SingularMatrixError as exc:  # pragma: no cover - defensive
+            raise DecodingError("received symbols do not span the payload") from exc
+
+    # -- cost accounting ----------------------------------------------------
+
+    @property
+    def read_fraction(self) -> float:
+        """Download needed to recreate the value: k symbols of size 1/k each."""
+        return 1.0
+
+    @property
+    def repair_download_fraction(self) -> float:
+        """Download needed to rebuild one symbol (naive RS repair reads k symbols)."""
+        return 1.0
+
+    def __repr__(self) -> str:
+        return f"ReedSolomonCode(n={self.n}, k={self.k}, systematic={self.systematic})"
+
+
+__all__ = ["ReedSolomonCode"]

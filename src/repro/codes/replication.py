@@ -1,0 +1,59 @@
+"""Replication as a degenerate erasure code.
+
+Replication is the comparison point the paper uses when discussing storage
+cost: "If we had used replication in L2 ... the L2 storage cost per object
+would have been n2 = 100" (Section V, discussion of Figure 6).  Modelling
+it through the same :class:`~repro.codes.base.ErasureCode` interface lets
+the benchmarks swap it in for the regenerating code without touching the
+protocol code.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+import numpy as np
+
+from repro.codes.base import DecodingError, ErasureCode
+
+
+class ReplicationCode(ErasureCode):
+    """An (n, 1) replication code: every server stores the full value."""
+
+    def __init__(self, n: int, block_size: int = 64) -> None:
+        if n < 1:
+            raise ValueError("replication requires at least one server")
+        if block_size < 1:
+            raise ValueError("block_size must be positive")
+        self.n = n
+        self.k = 1
+        self._block_size = block_size
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def element_size(self) -> int:
+        return self._block_size
+
+    def encode_block(self, block: np.ndarray) -> List[np.ndarray]:
+        block = np.asarray(block, dtype=np.uint8)
+        if block.size != self.block_size:
+            raise ValueError("block has wrong size")
+        return [block.copy() for _ in range(self.n)]
+
+    def decode_block(self, elements: Mapping[int, np.ndarray]) -> np.ndarray:
+        if not elements:
+            raise DecodingError("replication decode requires at least one element")
+        for index, element in elements.items():
+            if not 0 <= index < self.n:
+                raise DecodingError(f"invalid replica index {index}")
+            return np.asarray(element, dtype=np.uint8).copy()
+        raise DecodingError("unreachable")  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return f"ReplicationCode(n={self.n})"
+
+
+__all__ = ["ReplicationCode"]

@@ -1,0 +1,197 @@
+"""Random linear network codes (RLNC) with functional repair.
+
+The paper's conclusion raises the question of replacing the exact-repair
+product-matrix MBR code in the back-end layer with random linear network
+codes [16], which implement regenerating codes via *functional* repair and
+offer probabilistic decoding guarantees.  This module provides such a code
+so the question can be explored experimentally.
+
+Each node stores ``alpha`` random linear combinations of the ``B`` file
+symbols together with their coefficient vectors.  Decoding gathers coded
+symbols from any set of nodes and succeeds when the collected coefficient
+vectors span the full ``B``-dimensional space (which happens with high
+probability once ``k`` nodes at the MSR point, or slightly more symbols in
+general, have been gathered).  Repair draws ``beta`` fresh random
+combinations from each of ``d`` helpers and re-randomises them into a new
+node -- the repaired node is functionally, not bit-wise, equivalent to the
+lost one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.codes.base import DecodingError, RepairError
+from repro.codes.regenerating import RegeneratingCodeParameters, cut_set_bound
+from repro.gf.gf256 import GF256
+from repro.gf.matrix import GFMatrix
+
+
+@dataclass(frozen=True)
+class RLNCElement:
+    """Coded content of one RLNC node for a single block.
+
+    ``coefficients`` is an ``alpha x B`` matrix and ``symbols`` the
+    corresponding ``alpha`` coded symbols (one per row).
+    """
+
+    index: int
+    coefficients: np.ndarray
+    symbols: np.ndarray
+
+
+class RandomLinearNetworkCode:
+    """A functional-repair regenerating code based on random coefficients.
+
+    Unlike the exact-repair product-matrix codes, this class does not
+    subclass :class:`~repro.codes.base.RegeneratingCode`: coded elements
+    must carry their coefficient vectors, so the byte-level striped
+    interface does not apply.  The class operates directly on blocks of
+    ``file_size`` symbols.
+    """
+
+    def __init__(self, n: int, k: int, d: int, alpha: int, beta: int, file_size: int,
+                 seed: int | None = None) -> None:
+        if not 1 <= k <= d <= n - 1:
+            raise ValueError("RLNC requires 1 <= k <= d <= n - 1")
+        bound = cut_set_bound(k, d, alpha, beta)
+        if file_size > bound:
+            raise ValueError(f"file size {file_size} exceeds the cut-set bound {bound}")
+        self.n = n
+        self.k = k
+        self.d = d
+        self.alpha = alpha
+        self.beta = beta
+        self.file_size = file_size
+        self._rng = random.Random(seed)
+
+    @property
+    def parameters(self) -> RegeneratingCodeParameters:
+        """The regenerating-code parameter tuple of this instance."""
+        return RegeneratingCodeParameters(
+            n=self.n, k=self.k, d=self.d, alpha=self.alpha, beta=self.beta,
+            file_size=self.file_size,
+        )
+
+    # -- internals ------------------------------------------------------------
+
+    def _random_vector(self, length: int) -> np.ndarray:
+        return np.array([self._rng.randrange(256) for _ in range(length)], dtype=np.uint8)
+
+    def _combine(self, coefficients: np.ndarray, symbols: np.ndarray,
+                 weights: np.ndarray) -> tuple[np.ndarray, int]:
+        """Combine rows of (coefficients, symbols) with the given weights."""
+        combined_coeff = np.zeros(coefficients.shape[1], dtype=np.uint8)
+        combined_symbol = 0
+        for weight, coeff_row, symbol in zip(weights, coefficients, symbols):
+            weight = int(weight)
+            if weight == 0:
+                continue
+            combined_coeff = np.bitwise_xor(
+                combined_coeff, GF256.scale_vec(weight, coeff_row)
+            )
+            combined_symbol = GF256.add(combined_symbol, GF256.mul(weight, int(symbol)))
+        return combined_coeff, combined_symbol
+
+    # -- public API --------------------------------------------------------------
+
+    def encode_block(self, block: np.ndarray) -> List[RLNCElement]:
+        """Encode a block of ``file_size`` symbols into ``n`` RLNC elements."""
+        block = np.asarray(block, dtype=np.uint8)
+        if block.size != self.file_size:
+            raise ValueError(f"block must contain {self.file_size} symbols")
+        elements = []
+        for index in range(self.n):
+            coefficients = np.zeros((self.alpha, self.file_size), dtype=np.uint8)
+            symbols = np.zeros(self.alpha, dtype=np.uint8)
+            for row in range(self.alpha):
+                coeff = self._random_vector(self.file_size)
+                coefficients[row] = coeff
+                symbols[row] = GF256.dot(coeff, block)
+            elements.append(RLNCElement(index=index, coefficients=coefficients, symbols=symbols))
+        return elements
+
+    def can_decode(self, elements: Sequence[RLNCElement]) -> bool:
+        """Return True when the collected coefficient vectors span the file."""
+        if not elements:
+            return False
+        stacked = np.vstack([element.coefficients for element in elements])
+        return GFMatrix(stacked).rank() == self.file_size
+
+    def decode_block(self, elements: Sequence[RLNCElement]) -> np.ndarray:
+        """Decode the original block; raises :class:`DecodingError` on rank deficiency."""
+        if not elements:
+            raise DecodingError("no RLNC elements supplied")
+        coefficients = np.vstack([element.coefficients for element in elements])
+        symbols = np.concatenate([element.symbols for element in elements])
+        matrix = GFMatrix(coefficients)
+        if matrix.rank() < self.file_size:
+            raise DecodingError(
+                "collected RLNC symbols do not span the file (probabilistic failure)"
+            )
+        # Select file_size independent rows by elimination, then solve.
+        selected_rows: List[int] = []
+        work = GFMatrix.zeros(0, self.file_size)
+        for row_index in range(coefficients.shape[0]):
+            candidate = GFMatrix(np.vstack([work.data, coefficients[row_index : row_index + 1]]))
+            if candidate.rank() > work.rows:
+                work = candidate
+                selected_rows.append(row_index)
+            if len(selected_rows) == self.file_size:
+                break
+        square = GFMatrix(coefficients[selected_rows, :].copy())
+        rhs = symbols[selected_rows]
+        return square.solve(rhs)
+
+    def helper_symbols(self, helper: RLNCElement, rng: random.Random | None = None) -> RLNCElement:
+        """Produce ``beta`` fresh random combinations of a helper's content."""
+        rng = rng or self._rng
+        coefficients = np.zeros((self.beta, self.file_size), dtype=np.uint8)
+        symbols = np.zeros(self.beta, dtype=np.uint8)
+        for row in range(self.beta):
+            weights = np.array([rng.randrange(256) for _ in range(self.alpha)], dtype=np.uint8)
+            coeff, symbol = self._combine(helper.coefficients, helper.symbols, weights)
+            coefficients[row] = coeff
+            symbols[row] = symbol
+        return RLNCElement(index=helper.index, coefficients=coefficients, symbols=symbols)
+
+    def repair(self, new_index: int, helper_messages: Mapping[int, RLNCElement]) -> RLNCElement:
+        """Functionally repair a node from ``d`` helper messages."""
+        if len(helper_messages) < self.d:
+            raise RepairError(
+                f"RLNC repair requires d={self.d} helpers, got {len(helper_messages)}"
+            )
+        coefficients = np.vstack([msg.coefficients for msg in helper_messages.values()])
+        symbols = np.concatenate([msg.symbols for msg in helper_messages.values()])
+        new_coefficients = np.zeros((self.alpha, self.file_size), dtype=np.uint8)
+        new_symbols = np.zeros(self.alpha, dtype=np.uint8)
+        for row in range(self.alpha):
+            weights = self._random_vector(coefficients.shape[0])
+            coeff, symbol = self._combine(coefficients, symbols, weights)
+            new_coefficients[row] = coeff
+            new_symbols[row] = symbol
+        return RLNCElement(index=new_index, coefficients=new_coefficients, symbols=new_symbols)
+
+    def decode_probability_estimate(self, trials: int, node_count: int,
+                                    seed: int | None = None) -> float:
+        """Monte-Carlo estimate of the probability that ``node_count`` nodes decode."""
+        rng = random.Random(seed)
+        successes = 0
+        block = (np.arange(self.file_size) % 256).astype(np.uint8)
+        for _ in range(trials):
+            code = RandomLinearNetworkCode(
+                self.n, self.k, self.d, self.alpha, self.beta, self.file_size,
+                seed=rng.randrange(2**31),
+            )
+            elements = code.encode_block(block)
+            chosen = rng.sample(elements, node_count)
+            if code.can_decode(chosen):
+                successes += 1
+        return successes / trials if trials else 0.0
+
+
+__all__ = ["RandomLinearNetworkCode", "RLNCElement"]

@@ -1,0 +1,31 @@
+"""Consistency checking: operation histories and atomicity verification.
+
+The paper proves (Theorem IV.9) that every well-formed execution of the
+LDS algorithm is atomic, using the sufficient condition of Lemma 13.16 of
+Lynch's *Distributed Algorithms*.  This package provides the machinery to
+check that property on executions produced by the simulator:
+
+* :mod:`repro.consistency.history` -- recording of operation invocations
+  and responses into a :class:`History`.
+* :mod:`repro.consistency.linearizability` -- two atomicity checkers: the
+  tag-based check that mirrors Lemma 13.16 (used when the implementation
+  exposes its version tags) and a general linearizability search for
+  read/write registers (used to validate histories without trusting the
+  implementation's own tags).
+"""
+
+from repro.consistency.history import History, Operation, OperationRecorder
+from repro.consistency.linearizability import (
+    AtomicityViolation,
+    LinearizabilityChecker,
+    check_atomicity_by_tags,
+)
+
+__all__ = [
+    "History",
+    "Operation",
+    "OperationRecorder",
+    "AtomicityViolation",
+    "LinearizabilityChecker",
+    "check_atomicity_by_tags",
+]

@@ -1,0 +1,62 @@
+"""The LDS (Layered Data Storage) algorithm -- the paper's contribution.
+
+The package is organised around the three protocol roles of Figures 1-3 of
+the paper plus the system builder that wires them together:
+
+* :mod:`repro.core.tags` -- version tags ``(z, writer_id)`` with the total
+  order used throughout the protocol.
+* :mod:`repro.core.config` -- the system configuration ``(n1, n2, f1, f2)``
+  and the derived code parameters ``k = n1 - 2 f1`` and ``d = n2 - 2 f2``.
+* :mod:`repro.core.messages` -- every protocol message of Figures 1-3.
+* :mod:`repro.core.server_l1` / :mod:`repro.core.server_l2` -- the layer-1
+  and layer-2 server automata, including the internal ``write-to-L2`` and
+  ``regenerate-from-L2`` operations.
+* :mod:`repro.core.writer` / :mod:`repro.core.reader` -- the client
+  automata (two-phase writes, three-phase reads).
+* :mod:`repro.core.system` -- :class:`~repro.core.system.LDSSystem`, the
+  public facade: builds a simulated deployment, runs client operations,
+  records histories, and tracks storage / communication costs.
+* :mod:`repro.core.costs` -- storage accounting (temporary L1 storage vs
+  permanent L2 storage).
+* :mod:`repro.core.analysis` -- the closed-form cost and latency formulas
+  of Section V (Lemmas V.2-V.5) used by the benchmarks to compare measured
+  values against the paper.
+* :mod:`repro.core.multi_object` -- the N-object system of Section V-A.1.
+"""
+
+from repro.core.tags import Tag
+from repro.core.config import LDSConfig
+from repro.core.system import LDSSystem, OperationResult
+from repro.core.costs import StorageCostTracker, StorageSample
+from repro.core.analysis import (
+    LatencyBounds,
+    mbr_read_cost,
+    mbr_storage_cost_l2,
+    mbr_write_cost,
+    msr_read_cost,
+    msr_storage_cost_l2,
+    latency_bounds,
+    multi_object_storage_bounds,
+)
+from repro.core.multi_object import MultiObjectSystem
+from repro.core.repair import BackendRepairCoordinator, L2RepairReport
+
+__all__ = [
+    "BackendRepairCoordinator",
+    "L2RepairReport",
+    "Tag",
+    "LDSConfig",
+    "LDSSystem",
+    "OperationResult",
+    "StorageCostTracker",
+    "StorageSample",
+    "LatencyBounds",
+    "mbr_write_cost",
+    "mbr_read_cost",
+    "mbr_storage_cost_l2",
+    "msr_read_cost",
+    "msr_storage_cost_l2",
+    "latency_bounds",
+    "multi_object_storage_bounds",
+    "MultiObjectSystem",
+]

@@ -1,0 +1,39 @@
+"""Results returned by completed client operations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.tags import Tag
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """The outcome of one completed read or write operation.
+
+    Attributes:
+        op_id: the unique operation identifier.
+        client_id: the invoking client's process id.
+        kind: ``"read"`` or ``"write"``.
+        tag: the tag associated with the operation (``tag(pi)`` in the paper).
+        value: the value written (for writes) or returned (for reads).
+        invoked_at: virtual time of the invocation step.
+        responded_at: virtual time of the response step.
+    """
+
+    op_id: str
+    client_id: str
+    kind: str
+    tag: Tag
+    value: Optional[bytes]
+    invoked_at: float
+    responded_at: float
+
+    @property
+    def duration(self) -> float:
+        """Operation latency in virtual time units."""
+        return self.responded_at - self.invoked_at
+
+
+__all__ = ["OperationResult"]

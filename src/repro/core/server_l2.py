@@ -1,0 +1,93 @@
+"""The layer-2 (back-end) server automaton (Figure 3 of the paper).
+
+An L2 server's state is a single ``(tag, coded element)`` pair,
+initialised to the coded element of the initial value ``v0`` under the
+initial tag ``t0``.  It participates in two internal operations:
+
+* ``write-to-L2`` -- on a ``WRITE-CODE-ELEM`` it keeps the incoming pair
+  if the incoming tag is larger than the stored one, and acknowledges in
+  every case;
+* ``regenerate-from-L2`` -- on a ``QUERY-CODE-ELEM`` it computes, from its
+  stored coded element alone, the ``beta`` helper symbols needed to repair
+  the requesting L1 server's code symbol, and returns them together with
+  the stored tag.  Crucially (Section II-c) the computation depends only
+  on the identity of the requesting L1 server, never on which other L2
+  servers end up helping.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.codes.base import CodedElement
+from repro.codes.layered import LayeredCode
+from repro.core import messages as msg
+from repro.core.costs import StorageCostTracker
+from repro.core.tags import Tag
+from repro.net.latency import L2
+from repro.net.messages import Message
+from repro.net.process import Process
+
+
+class L2Server(Process):
+    """One back-end server holding a single (tag, coded element) pair."""
+
+    def __init__(self, pid: str, index: int, code: LayeredCode,
+                 initial_tag: Tag, initial_element: CodedElement,
+                 storage_tracker: Optional[StorageCostTracker] = None) -> None:
+        super().__init__(pid, link_class=L2)
+        self.index = index
+        self.code = code
+        self.stored_tag = initial_tag
+        self.stored_element = initial_element
+        self.storage_tracker = storage_tracker
+        self._element_fraction = float(code.costs.element_fraction)
+        self._helper_fraction = float(code.costs.helper_fraction)
+        if storage_tracker is not None:
+            storage_tracker.l2_element_stored(self.pid, self._element_fraction)
+
+    # -- message dispatch -------------------------------------------------------
+
+    def on_message(self, sender: str, message: Message) -> None:
+        if isinstance(message, msg.WriteCodeElem):
+            self._write_to_l2_resp(sender, message)
+        elif isinstance(message, msg.QueryCodeElem):
+            self._regenerate_from_l2_resp(sender, message)
+        # Unknown messages are ignored (crash-stop model, no byzantine behaviour).
+
+    # -- handlers ----------------------------------------------------------------
+
+    def _write_to_l2_resp(self, sender: str, message: msg.WriteCodeElem) -> None:
+        """write-to-L2-resp: keep the pair with the larger tag, always ack."""
+        if message.tag > self.stored_tag:
+            self.stored_tag = message.tag
+            self.stored_element = CodedElement(index=self.code.l2_symbol_index(self.index),
+                                               data=message.coded_element)
+            if self.storage_tracker is not None:
+                self.storage_tracker.l2_element_stored(self.pid, self._element_fraction)
+        self.send(sender, msg.AckCodeElem(tag=message.tag, op_id=message.op_id))
+
+    def _regenerate_from_l2_resp(self, sender: str, message: msg.QueryCodeElem) -> None:
+        """regenerate-from-L2-resp: compute and return helper data.
+
+        The helper data targets the code symbol of the requesting L1 server
+        (``message.l1_index``); it is computed from this server's stored
+        element only.
+        """
+        helper = self.code.helper_data(
+            l2_server=self.index,
+            stored=self.stored_element,
+            l1_server=message.l1_index,
+        )
+        response = msg.SendHelperElem(
+            reader_id=message.reader_id,
+            tag=self.stored_tag,
+            helper_data=helper,
+            data_size=self._helper_fraction,
+            op_id=message.op_id,
+        )
+        response.payload["regen_id"] = message.payload.get("regen_id")
+        self.send(sender, response)
+
+
+__all__ = ["L2Server"]

@@ -1,0 +1,27 @@
+"""Finite-field arithmetic substrate.
+
+The erasure and regenerating codes in :mod:`repro.codes` operate over the
+finite field GF(2^8).  This package provides:
+
+* :mod:`repro.gf.gf256` -- scalar and vectorised (numpy) arithmetic over
+  GF(2^8) with the AES polynomial ``x^8 + x^4 + x^3 + x + 1``.
+* :mod:`repro.gf.matrix` -- dense matrices over GF(2^8): multiplication,
+  rank, inversion, linear solves and Gaussian elimination.
+* :mod:`repro.gf.builders` -- structured matrix builders (Vandermonde,
+  Cauchy, identity stacking) used by the code constructions.
+* :mod:`repro.gf.polynomial` -- univariate polynomials over GF(2^8),
+  including evaluation and Lagrange interpolation.
+"""
+
+from repro.gf.gf256 import GF256
+from repro.gf.matrix import GFMatrix
+from repro.gf.builders import cauchy_matrix, vandermonde_matrix
+from repro.gf.polynomial import GFPolynomial
+
+__all__ = [
+    "GF256",
+    "GFMatrix",
+    "GFPolynomial",
+    "vandermonde_matrix",
+    "cauchy_matrix",
+]

@@ -1,0 +1,251 @@
+"""Dense matrices over GF(2^8).
+
+:class:`GFMatrix` wraps a 2-D numpy ``uint8`` array and provides the linear
+algebra the code constructions need: multiplication, transposition, rank,
+Gaussian elimination, inversion, and solving linear systems.  The matrices
+involved in the product-matrix codes are small (tens of rows/columns), so a
+straightforward O(n^3) elimination is more than fast enough and keeps the
+implementation easy to audit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.gf.gf256 import GF256
+
+
+class SingularMatrixError(ValueError):
+    """Raised when an inverse or unique solution does not exist."""
+
+
+class GFMatrix:
+    """A dense matrix with entries in GF(2^8)."""
+
+    def __init__(self, data) -> None:
+        array = np.array(data, dtype=np.uint8)
+        if array.ndim == 1:
+            array = array.reshape(1, -1)
+        if array.ndim != 2:
+            raise ValueError("GFMatrix requires 2-D data")
+        self._data = array
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, rows: int, cols: int) -> "GFMatrix":
+        """Return the all-zero matrix of the given shape."""
+        return cls(np.zeros((rows, cols), dtype=np.uint8))
+
+    @classmethod
+    def identity(cls, size: int) -> "GFMatrix":
+        """Return the identity matrix of the given size."""
+        return cls(np.eye(size, dtype=np.uint8))
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence[int]]) -> "GFMatrix":
+        """Build a matrix from an iterable of row sequences."""
+        return cls(np.array([list(row) for row in rows], dtype=np.uint8))
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """The underlying numpy array (not copied)."""
+        return self._data
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """The (rows, cols) shape."""
+        return self._data.shape
+
+    @property
+    def rows(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self._data.shape[1]
+
+    def copy(self) -> "GFMatrix":
+        """Return a deep copy."""
+        return GFMatrix(self._data.copy())
+
+    def row(self, index: int) -> np.ndarray:
+        """Return a copy of row ``index``."""
+        return self._data[index].copy()
+
+    def column(self, index: int) -> np.ndarray:
+        """Return a copy of column ``index``."""
+        return self._data[:, index].copy()
+
+    def submatrix(self, row_indices: Sequence[int], col_indices=None) -> "GFMatrix":
+        """Return the submatrix picking ``row_indices`` (and optionally columns)."""
+        rows = self._data[list(row_indices), :]
+        if col_indices is not None:
+            rows = rows[:, list(col_indices)]
+        return GFMatrix(rows.copy())
+
+    def __getitem__(self, key):
+        return self._data[key]
+
+    def __setitem__(self, key, value):
+        self._data[key] = value
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GFMatrix):
+            return NotImplemented
+        return self.shape == other.shape and bool(np.array_equal(self._data, other._data))
+
+    def __repr__(self) -> str:
+        return f"GFMatrix(shape={self.shape})"
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "GFMatrix") -> "GFMatrix":
+        if self.shape != other.shape:
+            raise ValueError("shape mismatch in GF matrix addition")
+        return GFMatrix(np.bitwise_xor(self._data, other._data))
+
+    __sub__ = __add__
+
+    def __matmul__(self, other: "GFMatrix") -> "GFMatrix":
+        return self.matmul(other)
+
+    def matmul(self, other: "GFMatrix") -> "GFMatrix":
+        """Return the matrix product ``self @ other``."""
+        return GFMatrix(GF256.matmul(self._data, other._data))
+
+    def matvec(self, vector) -> np.ndarray:
+        """Multiply the matrix by a column vector, returning a 1-D array."""
+        vec = GF256.as_array(vector)
+        if vec.size != self.cols:
+            raise ValueError("vector length does not match matrix columns")
+        product = GF256.matmul(self._data, vec.reshape(-1, 1))
+        return product.reshape(-1)
+
+    def transpose(self) -> "GFMatrix":
+        """Return the transpose."""
+        return GFMatrix(self._data.T.copy())
+
+    @property
+    def T(self) -> "GFMatrix":
+        return self.transpose()
+
+    def scale(self, scalar: int) -> "GFMatrix":
+        """Multiply every entry by ``scalar``."""
+        rows = [GF256.scale_vec(scalar, self._data[i]) for i in range(self.rows)]
+        return GFMatrix(np.vstack(rows)) if rows else GFMatrix.zeros(0, self.cols)
+
+    def hstack(self, other: "GFMatrix") -> "GFMatrix":
+        """Concatenate horizontally."""
+        if self.rows != other.rows:
+            raise ValueError("row mismatch in hstack")
+        return GFMatrix(np.hstack([self._data, other._data]))
+
+    def vstack(self, other: "GFMatrix") -> "GFMatrix":
+        """Concatenate vertically."""
+        if self.cols != other.cols:
+            raise ValueError("column mismatch in vstack")
+        return GFMatrix(np.vstack([self._data, other._data]))
+
+    def is_symmetric(self) -> bool:
+        """Return True when the matrix equals its transpose."""
+        return self.rows == self.cols and bool(np.array_equal(self._data, self._data.T))
+
+    # -- elimination -------------------------------------------------------
+
+    def _eliminate(self, augment: np.ndarray | None = None):
+        """Run Gauss-Jordan elimination.
+
+        Returns ``(reduced, augmented, pivot_columns)``.  ``augmented`` is
+        ``None`` when no augment matrix was supplied.
+        """
+        work = self._data.astype(np.uint8).copy()
+        aug = None if augment is None else augment.astype(np.uint8).copy()
+        rows, cols = work.shape
+        pivot_cols: list[int] = []
+        pivot_row = 0
+        for col in range(cols):
+            if pivot_row >= rows:
+                break
+            # Find a pivot in this column at or below pivot_row.
+            pivot = None
+            for r in range(pivot_row, rows):
+                if work[r, col]:
+                    pivot = r
+                    break
+            if pivot is None:
+                continue
+            if pivot != pivot_row:
+                work[[pivot_row, pivot]] = work[[pivot, pivot_row]]
+                if aug is not None:
+                    aug[[pivot_row, pivot]] = aug[[pivot, pivot_row]]
+            # Normalise the pivot row.
+            inv = GF256.inv(int(work[pivot_row, col]))
+            work[pivot_row] = GF256.scale_vec(inv, work[pivot_row])
+            if aug is not None:
+                aug[pivot_row] = GF256.scale_vec(inv, aug[pivot_row])
+            # Eliminate the column from every other row.
+            for r in range(rows):
+                if r == pivot_row:
+                    continue
+                factor = int(work[r, col])
+                if factor:
+                    work[r] = np.bitwise_xor(
+                        work[r], GF256.scale_vec(factor, work[pivot_row])
+                    )
+                    if aug is not None:
+                        aug[r] = np.bitwise_xor(
+                            aug[r], GF256.scale_vec(factor, aug[pivot_row])
+                        )
+            pivot_cols.append(col)
+            pivot_row += 1
+        return work, aug, pivot_cols
+
+    def rank(self) -> int:
+        """Return the rank of the matrix."""
+        _, _, pivots = self._eliminate()
+        return len(pivots)
+
+    def is_invertible(self) -> bool:
+        """Return True when the matrix is square and full rank."""
+        return self.rows == self.cols and self.rank() == self.rows
+
+    def inverse(self) -> "GFMatrix":
+        """Return the inverse matrix.
+
+        Raises :class:`SingularMatrixError` when the matrix is not square
+        or not full rank.
+        """
+        if self.rows != self.cols:
+            raise SingularMatrixError("only square matrices can be inverted")
+        reduced, aug, pivots = self._eliminate(np.eye(self.rows, dtype=np.uint8))
+        if len(pivots) != self.rows:
+            raise SingularMatrixError("matrix is singular")
+        del reduced
+        return GFMatrix(aug)
+
+    def solve(self, rhs) -> np.ndarray:
+        """Solve ``self @ x = rhs`` for a uniquely determined ``x``.
+
+        ``rhs`` may be a vector or a matrix; the result has matching shape.
+        Raises :class:`SingularMatrixError` when the system is not uniquely
+        solvable.
+        """
+        rhs_arr = GF256.as_array(rhs)
+        vector_input = rhs_arr.ndim == 1
+        if vector_input:
+            rhs_arr = rhs_arr.reshape(-1, 1)
+        if rhs_arr.shape[0] != self.rows:
+            raise ValueError("rhs row count does not match matrix")
+        if self.rows != self.cols:
+            raise SingularMatrixError("solve requires a square system")
+        inverse = self.inverse()
+        solution = GF256.matmul(inverse.data, rhs_arr)
+        return solution.reshape(-1) if vector_input else solution
+
+
+__all__ = ["GFMatrix", "SingularMatrixError"]

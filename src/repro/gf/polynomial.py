@@ -1,0 +1,137 @@
+"""Univariate polynomials over GF(2^8).
+
+Used by the Reed-Solomon implementation for an alternative
+evaluation/interpolation view of encoding and decoding, and by tests that
+cross-check the matrix-based decoders against Lagrange interpolation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.gf.gf256 import GF256
+
+
+class GFPolynomial:
+    """A polynomial with coefficients in GF(2^8).
+
+    Coefficients are stored lowest-degree first; trailing zero coefficients
+    are trimmed so that the representation is canonical.
+    """
+
+    def __init__(self, coefficients: Iterable[int] = ()) -> None:
+        coeffs = [int(c) & 0xFF for c in coefficients]
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        self._coeffs = coeffs
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def zero(cls) -> "GFPolynomial":
+        """Return the zero polynomial."""
+        return cls()
+
+    @classmethod
+    def constant(cls, value: int) -> "GFPolynomial":
+        """Return the constant polynomial ``value``."""
+        return cls([value])
+
+    @classmethod
+    def monomial(cls, degree: int, coefficient: int = 1) -> "GFPolynomial":
+        """Return ``coefficient * x^degree``."""
+        return cls([0] * degree + [coefficient])
+
+    @classmethod
+    def interpolate(cls, points: Sequence[tuple[int, int]]) -> "GFPolynomial":
+        """Lagrange-interpolate a polynomial through ``(x, y)`` points.
+
+        The ``x`` values must be distinct.  The returned polynomial has
+        degree at most ``len(points) - 1`` and satisfies ``p(x) == y`` for
+        every supplied point.
+        """
+        xs = [int(x) for x, _ in points]
+        if len(set(xs)) != len(xs):
+            raise ValueError("interpolation points must have distinct x values")
+        result = cls.zero()
+        for i, (x_i, y_i) in enumerate(points):
+            if y_i == 0:
+                continue
+            # Build the Lagrange basis polynomial for x_i.
+            basis = cls.constant(1)
+            denominator = 1
+            for j, (x_j, _) in enumerate(points):
+                if i == j:
+                    continue
+                basis = basis * cls([x_j, 1])  # (x - x_j) == (x + x_j) in GF(2^m)
+                denominator = GF256.mul(denominator, GF256.add(x_i, x_j))
+            scale = GF256.div(int(y_i), denominator)
+            result = result + basis.scale(scale)
+        return result
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def coefficients(self) -> list[int]:
+        """Coefficients, lowest degree first."""
+        return list(self._coeffs)
+
+    @property
+    def degree(self) -> int:
+        """The degree; the zero polynomial has degree -1."""
+        return len(self._coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return not self._coeffs
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, GFPolynomial):
+            return NotImplemented
+        return self._coeffs == other._coeffs
+
+    def __repr__(self) -> str:
+        return f"GFPolynomial({self._coeffs})"
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "GFPolynomial") -> "GFPolynomial":
+        length = max(len(self._coeffs), len(other._coeffs))
+        coeffs = []
+        for i in range(length):
+            a = self._coeffs[i] if i < len(self._coeffs) else 0
+            b = other._coeffs[i] if i < len(other._coeffs) else 0
+            coeffs.append(GF256.add(a, b))
+        return GFPolynomial(coeffs)
+
+    __sub__ = __add__
+
+    def __mul__(self, other: "GFPolynomial") -> "GFPolynomial":
+        if self.is_zero() or other.is_zero():
+            return GFPolynomial.zero()
+        coeffs = [0] * (len(self._coeffs) + len(other._coeffs) - 1)
+        for i, a in enumerate(self._coeffs):
+            if a == 0:
+                continue
+            for j, b in enumerate(other._coeffs):
+                if b == 0:
+                    continue
+                coeffs[i + j] = GF256.add(coeffs[i + j], GF256.mul(a, b))
+        return GFPolynomial(coeffs)
+
+    def scale(self, scalar: int) -> "GFPolynomial":
+        """Multiply every coefficient by ``scalar``."""
+        return GFPolynomial([GF256.mul(scalar, c) for c in self._coeffs])
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate the polynomial at ``x`` using Horner's rule."""
+        result = 0
+        for coefficient in reversed(self._coeffs):
+            result = GF256.add(GF256.mul(result, x), coefficient)
+        return result
+
+    def evaluate_many(self, xs: Iterable[int]) -> list[int]:
+        """Evaluate at multiple points."""
+        return [self.evaluate(x) for x in xs]
+
+
+__all__ = ["GFPolynomial"]

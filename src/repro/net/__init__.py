@@ -1,0 +1,49 @@
+"""Asynchronous message-passing network substrate.
+
+The paper's system model (Section II) is an asynchronous message-passing
+network with reliable point-to-point channels, crash failures, and -- for
+the Section V latency analysis -- bounded per-link delays.  This package
+implements that model as a deterministic discrete-event simulation:
+
+* :mod:`repro.net.simulator` -- the event loop (virtual clock + heap).
+* :mod:`repro.net.messages` -- the message envelope with normalised size
+  accounting (meta-data counts as zero, consistent with the paper).
+* :mod:`repro.net.latency` -- per-link-class delay models (tau0 between L1
+  servers, tau1 client<->L1, tau2 L1<->L2), fixed and randomised.
+* :mod:`repro.net.process` -- the process (I/O-automaton-style) base class.
+* :mod:`repro.net.network` -- reliable point-to-point channels, delivery,
+  crash bookkeeping and communication-cost tracking.
+* :mod:`repro.net.failures` -- crash-failure injection strategies.
+* :mod:`repro.net.broadcast` -- the metadata broadcast primitive of [17]
+  (relay through a fixed set of f1 + 1 servers).
+"""
+
+from repro.net.simulator import Simulator
+from repro.net.messages import Message
+from repro.net.latency import (
+    BoundedLatencyModel,
+    ExponentialLatencyModel,
+    FixedLatencyModel,
+    LatencyModel,
+    UniformLatencyModel,
+)
+from repro.net.process import Process
+from repro.net.network import CommunicationCostTracker, Network
+from repro.net.failures import CrashSchedule, FailureInjector
+from repro.net.broadcast import BroadcastPrimitive
+
+__all__ = [
+    "Simulator",
+    "Message",
+    "LatencyModel",
+    "FixedLatencyModel",
+    "BoundedLatencyModel",
+    "UniformLatencyModel",
+    "ExponentialLatencyModel",
+    "Process",
+    "Network",
+    "CommunicationCostTracker",
+    "CrashSchedule",
+    "FailureInjector",
+    "BroadcastPrimitive",
+]

@@ -1,0 +1,127 @@
+"""Discrete-event simulation core.
+
+:class:`Simulator` keeps a virtual clock and a priority queue of pending
+events.  All protocol activity -- message deliveries, client invocations,
+crash injections -- is expressed as callbacks scheduled on this queue, so
+executions are fully deterministic given the latency model's random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class _Event:
+    """A scheduled callback; ordered by (time, sequence number)."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Cancel the event; a no-op if it already ran."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[_Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """The current virtual time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError("cannot schedule an event in the past")
+        event = _Event(time=time, sequence=next(self._counter), callback=callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events until the queue is drained, ``until`` is reached, or
+        ``max_events`` events have been executed in this call."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                return
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and event.time > until:
+                self._now = until
+                return
+            heapq.heappop(self._queue)
+            self._now = event.time
+            self._events_processed += 1
+            event.callback()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Run until no events remain; guards against runaway executions."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError("simulation exceeded the maximum event budget")
+
+
+__all__ = ["Simulator", "EventHandle"]

@@ -1,0 +1,32 @@
+"""Workload generation, execution and metric collection.
+
+The paper has no measured evaluation, so the benchmarks in this repository
+drive the simulated systems with synthetic workloads: read/write mixes
+with controlled concurrency (the delta parameter of Definition 2),
+multi-writer bursts, and multi-object write loads parameterised by theta
+(Section V-A.1).  This package provides:
+
+* :mod:`repro.workloads.generator` -- declarative workload specifications
+  and random generators;
+* :mod:`repro.workloads.runner` -- executes a workload against any system
+  exposing the common driving API (LDS, ABD or CAS) and collects results;
+* :mod:`repro.workloads.metrics` -- latency / cost / throughput summaries.
+"""
+
+from repro.workloads.generator import (
+    ScheduledOperation,
+    Workload,
+    WorkloadGenerator,
+)
+from repro.workloads.runner import WorkloadReport, WorkloadRunner
+from repro.workloads.metrics import LatencySummary, summarize_latencies
+
+__all__ = [
+    "ScheduledOperation",
+    "Workload",
+    "WorkloadGenerator",
+    "WorkloadRunner",
+    "WorkloadReport",
+    "LatencySummary",
+    "summarize_latencies",
+]

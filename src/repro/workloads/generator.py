@@ -1,0 +1,165 @@
+"""Declarative workloads and random workload generators."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.consistency.history import READ, WRITE
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """One operation scheduled at a virtual time on a named client.
+
+    ``client_index`` selects the writer or reader within the target system
+    (writers and readers are indexed separately).
+    """
+
+    kind: str
+    at: float
+    client_index: int = 0
+    value: Optional[bytes] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (READ, WRITE):
+            raise ValueError("operation kind must be 'read' or 'write'")
+        if self.at < 0:
+            raise ValueError("operations cannot be scheduled in the past")
+        if self.kind == WRITE and self.value is None:
+            raise ValueError("write operations need a value")
+
+
+@dataclass
+class Workload:
+    """An ordered collection of scheduled operations."""
+
+    operations: List[ScheduledOperation] = field(default_factory=list)
+    description: str = ""
+
+    def add(self, operation: ScheduledOperation) -> "Workload":
+        self.operations.append(operation)
+        return self
+
+    def sorted_operations(self) -> List[ScheduledOperation]:
+        return sorted(self.operations, key=lambda op: op.at)
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for op in self.operations if op.kind == WRITE)
+
+    @property
+    def read_count(self) -> int:
+        return sum(1 for op in self.operations if op.kind == READ)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+class WorkloadGenerator:
+    """Builds common workload shapes.
+
+    The generators only *schedule invocation times*; whether operations end
+    up concurrent depends on the latency model of the system they run on.
+    Per-client well-formedness (one outstanding operation per client) is
+    respected by spacing a client's operations at least ``client_spacing``
+    apart, which callers should set larger than the worst-case operation
+    latency of the target system.
+    """
+
+    def __init__(self, seed: Optional[int] = None, client_spacing: float = 50.0) -> None:
+        self._rng = random.Random(seed)
+        self.client_spacing = client_spacing
+
+    def _value(self, index: int, size: int = 8) -> bytes:
+        return bytes([(index * 31 + offset) % 251 + 1 for offset in range(size)])
+
+    def sequential(self, num_writes: int, num_reads: int, spacing: Optional[float] = None,
+                   start: float = 0.0) -> Workload:
+        """Alternating, non-overlapping writes and reads (no concurrency)."""
+        spacing = self.client_spacing if spacing is None else spacing
+        workload = Workload(description="sequential writes then reads")
+        time = start
+        for index in range(num_writes):
+            workload.add(ScheduledOperation(kind=WRITE, at=time, client_index=0,
+                                            value=self._value(index)))
+            time += spacing
+        for _ in range(num_reads):
+            workload.add(ScheduledOperation(kind=READ, at=time, client_index=0))
+            time += spacing
+        return workload
+
+    def concurrent_burst(self, num_writers: int, num_readers: int, at: float = 0.0,
+                         jitter: float = 1.0) -> Workload:
+        """One write per writer and one read per reader, all starting together."""
+        workload = Workload(description="concurrent burst of writes and reads")
+        for index in range(num_writers):
+            workload.add(ScheduledOperation(
+                kind=WRITE, at=at + self._rng.uniform(0, jitter), client_index=index,
+                value=self._value(index),
+            ))
+        for index in range(num_readers):
+            workload.add(ScheduledOperation(
+                kind=READ, at=at + self._rng.uniform(0, jitter), client_index=index,
+            ))
+        return workload
+
+    def read_heavy(self, num_rounds: int, readers: int = 1, start: float = 0.0,
+                   spacing: Optional[float] = None) -> Workload:
+        """One initial write followed by rounds of reads (delta = 0 regime)."""
+        spacing = self.client_spacing if spacing is None else spacing
+        workload = Workload(description="read-heavy after a single write")
+        workload.add(ScheduledOperation(kind=WRITE, at=start, client_index=0,
+                                        value=self._value(0)))
+        time = start + spacing
+        for _ in range(num_rounds):
+            for reader_index in range(readers):
+                workload.add(ScheduledOperation(kind=READ, at=time, client_index=reader_index))
+            time += spacing
+        return workload
+
+    def mixed_random(self, num_operations: int, write_fraction: float, duration: float,
+                     num_writers: int = 1, num_readers: int = 1,
+                     start: float = 0.0) -> Workload:
+        """Random mix of reads and writes over a time window.
+
+        Each client's operations are spaced by ``client_spacing`` so the
+        workload stays well-formed regardless of operation latency.
+        """
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be within [0, 1]")
+        workload = Workload(description="random read/write mix")
+        next_free_writer = [start] * num_writers
+        next_free_reader = [start] * num_readers
+        for index in range(num_operations):
+            at = start + self._rng.uniform(0.0, duration)
+            if self._rng.random() < write_fraction:
+                client = self._rng.randrange(num_writers)
+                at = max(at, next_free_writer[client])
+                next_free_writer[client] = at + self.client_spacing
+                workload.add(ScheduledOperation(kind=WRITE, at=at, client_index=client,
+                                                value=self._value(index)))
+            else:
+                client = self._rng.randrange(num_readers)
+                at = max(at, next_free_reader[client])
+                next_free_reader[client] = at + self.client_spacing
+                workload.add(ScheduledOperation(kind=READ, at=at, client_index=client))
+        return workload
+
+    def write_heavy_with_trailing_read(self, num_writes: int, num_writers: int,
+                                       burst_window: float, read_at: float) -> Workload:
+        """Many concurrent writes followed by a read (delta > 0 regime)."""
+        workload = Workload(description="write burst with a trailing concurrent read")
+        next_free = [0.0] * num_writers
+        for index in range(num_writes):
+            client = index % num_writers
+            at = max(self._rng.uniform(0.0, burst_window), next_free[client])
+            next_free[client] = at + self.client_spacing
+            workload.add(ScheduledOperation(kind=WRITE, at=at, client_index=client,
+                                            value=self._value(index)))
+        workload.add(ScheduledOperation(kind=READ, at=read_at, client_index=0))
+        return workload
+
+
+__all__ = ["ScheduledOperation", "Workload", "WorkloadGenerator"]

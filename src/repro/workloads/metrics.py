@@ -1,0 +1,54 @@
+"""Metric summaries used by the workload runner and the benchmarks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Summary statistics for a collection of operation latencies."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(count=0, mean=0.0, minimum=0.0, maximum=0.0, p50=0.0, p95=0.0, p99=0.0)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty sequence."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def summarize_latencies(latencies: Iterable[float]) -> LatencySummary:
+    """Compute a :class:`LatencySummary` from raw latencies."""
+    values: List[float] = [float(v) for v in latencies]
+    if not values:
+        return LatencySummary.empty()
+    return LatencySummary(
+        count=len(values),
+        mean=sum(values) / len(values),
+        minimum=min(values),
+        maximum=max(values),
+        p50=percentile(values, 0.50),
+        p95=percentile(values, 0.95),
+        p99=percentile(values, 0.99),
+    )
+
+
+__all__ = ["LatencySummary", "percentile", "summarize_latencies"]

@@ -1,0 +1,86 @@
+"""Unit tests for random linear network codes (functional repair)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.base import DecodingError, RepairError
+from repro.codes.rlnc import RandomLinearNetworkCode
+
+
+def make_code(seed=11):
+    # MSR-like point: alpha=2, beta=1, B=k*alpha=6 within the cut-set bound for d=4.
+    return RandomLinearNetworkCode(n=8, k=3, d=4, alpha=2, beta=1, file_size=6, seed=seed)
+
+
+def make_block(size=6):
+    return np.arange(1, size + 1, dtype=np.uint8)
+
+
+class TestRLNC:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomLinearNetworkCode(n=4, k=5, d=5, alpha=2, beta=1, file_size=4)
+        with pytest.raises(ValueError):
+            RandomLinearNetworkCode(n=8, k=3, d=4, alpha=1, beta=1, file_size=100)
+
+    def test_parameters_property(self):
+        params = make_code().parameters
+        assert params.n == 8 and params.k == 3 and params.file_size == 6
+
+    def test_encode_produces_n_elements_of_alpha_rows(self):
+        code = make_code()
+        elements = code.encode_block(make_block())
+        assert len(elements) == 8
+        assert all(el.coefficients.shape == (2, 6) for el in elements)
+
+    def test_decode_from_enough_nodes(self):
+        code = make_code(seed=5)
+        block = make_block()
+        elements = code.encode_block(block)
+        subset = elements[:4]  # 8 combinations for a 6-dim space: decodes w.h.p.
+        if code.can_decode(subset):
+            assert np.array_equal(code.decode_block(subset), block)
+        else:  # pragma: no cover - astronomically unlikely with this seed
+            pytest.skip("random coefficients happened to be rank deficient")
+
+    def test_decode_failure_reports_error(self):
+        code = make_code()
+        elements = code.encode_block(make_block())
+        with pytest.raises(DecodingError):
+            code.decode_block(elements[:1])  # only 2 combinations for 6 unknowns
+
+    def test_decode_with_no_elements(self):
+        with pytest.raises(DecodingError):
+            make_code().decode_block([])
+
+    def test_can_decode_false_for_insufficient_rank(self):
+        code = make_code()
+        elements = code.encode_block(make_block())
+        assert not code.can_decode(elements[:2])
+
+    def test_functional_repair_preserves_decodability(self):
+        code = make_code(seed=21)
+        block = make_block()
+        elements = code.encode_block(block)
+        helpers = {i: code.helper_symbols(elements[i]) for i in range(4)}
+        repaired = code.repair(new_index=7, helper_messages=helpers)
+        # The repaired node together with two originals should usually decode.
+        candidates = [repaired, elements[4], elements[5], elements[6]]
+        if code.can_decode(candidates):
+            assert np.array_equal(code.decode_block(candidates), block)
+
+    def test_repair_requires_d_helpers(self):
+        code = make_code()
+        elements = code.encode_block(make_block())
+        with pytest.raises(RepairError):
+            code.repair(new_index=0, helper_messages={1: code.helper_symbols(elements[1])})
+
+    def test_decode_probability_estimate_high(self):
+        code = make_code(seed=3)
+        probability = code.decode_probability_estimate(trials=20, node_count=4, seed=1)
+        assert probability >= 0.9
+
+    def test_decode_probability_estimate_zero_when_impossible(self):
+        code = make_code(seed=3)
+        probability = code.decode_probability_estimate(trials=5, node_count=1, seed=1)
+        assert probability == 0.0

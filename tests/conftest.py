@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import LDSConfig
+from repro.core.system import LDSSystem
+from repro.net.latency import BoundedLatencyModel, FixedLatencyModel
+
+
+@pytest.fixture
+def small_config() -> LDSConfig:
+    """A small but non-trivial configuration: n1=5, n2=6, f1=1, f2=1 (k=3, d=4)."""
+    return LDSConfig(n1=5, n2=6, f1=1, f2=1)
+
+
+@pytest.fixture
+def symmetric_config() -> LDSConfig:
+    """A symmetric configuration with n1 = n2 and f1 = f2 (so k = d)."""
+    return LDSConfig.symmetric(n=7, f=2)
+
+
+@pytest.fixture
+def fixed_latency() -> FixedLatencyModel:
+    """Deterministic latencies tau0 = tau1 = 1, tau2 = 10 (edge-like)."""
+    return FixedLatencyModel(tau0=1.0, tau1=1.0, tau2=10.0)
+
+
+@pytest.fixture
+def bounded_latency() -> BoundedLatencyModel:
+    """Randomised but bounded latencies with a fixed seed."""
+    return BoundedLatencyModel(tau0=1.0, tau1=1.0, tau2=10.0, seed=7)
+
+
+@pytest.fixture
+def small_system(small_config, fixed_latency) -> LDSSystem:
+    """A ready-to-use LDS deployment with two writers and two readers."""
+    return LDSSystem(small_config, num_writers=2, num_readers=2,
+                     latency_model=fixed_latency)

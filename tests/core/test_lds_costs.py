@@ -1,0 +1,137 @@
+"""Tests that measured communication / storage costs match Lemmas V.2 and V.3."""
+
+import pytest
+
+from repro.core.analysis import (
+    mbr_read_cost,
+    mbr_storage_cost_l2,
+    mbr_write_cost,
+)
+from repro.core.config import LDSConfig
+from repro.core.system import LDSSystem
+from repro.net.latency import FixedLatencyModel
+
+
+def build_system(n1=5, n2=6, f1=1, f2=1, **kwargs):
+    config = LDSConfig(n1=n1, n2=n2, f1=f1, f2=f2)
+    return LDSSystem(config, num_writers=2, num_readers=2,
+                     latency_model=FixedLatencyModel(), **kwargs), config
+
+
+class TestWriteCost:
+    def test_write_cost_matches_lemma_v2_exactly(self):
+        system, config = build_system()
+        result = system.write(b"measure me")
+        system.run_until_idle()  # let the internal write-to-L2 traffic finish
+        measured = system.operation_cost(result.op_id)
+        expected = mbr_write_cost(config.n1, config.n2, config.k, config.d)
+        assert measured == pytest.approx(expected, rel=1e-9)
+
+    def test_write_cost_identical_across_writes(self):
+        system, _ = build_system()
+        costs = []
+        for index in range(3):
+            result = system.write(bytes([index + 1]) * 4)
+            system.run_until_idle()
+            costs.append(system.operation_cost(result.op_id))
+        assert max(costs) == pytest.approx(min(costs))
+
+    @pytest.mark.parametrize("n1,n2,f1,f2", [(3, 4, 1, 1), (5, 6, 1, 1), (7, 9, 2, 2)])
+    def test_write_cost_formula_across_configurations(self, n1, n2, f1, f2):
+        system, config = build_system(n1=n1, n2=n2, f1=f1, f2=f2)
+        result = system.write(b"sweep")
+        system.run_until_idle()
+        expected = mbr_write_cost(n1, n2, config.k, config.d)
+        assert system.operation_cost(result.op_id) == pytest.approx(expected, rel=1e-9)
+
+    def test_write_cost_grows_linearly_with_n1(self):
+        costs = []
+        for n in (4, 8, 12):
+            system, config = build_system(n1=n, n2=n, f1=(n - 2) // 2, f2=(n - 1) // 3)
+            result = system.write(b"scaling")
+            system.run_until_idle()
+            costs.append(system.operation_cost(result.op_id) / n)
+        # Cost per server stays within a constant factor: Theta(n1).
+        assert max(costs) / min(costs) < 2.5
+
+
+class TestReadCost:
+    def test_quiescent_read_cost_matches_lemma_v2_delta_zero(self):
+        system, config = build_system()
+        system.write(b"quiesced value")
+        system.run_until_idle()
+        result = system.read()
+        measured = system.operation_cost(result.op_id)
+        expected = mbr_read_cost(config.n1, config.n2, config.k, config.d, delta=0)
+        assert measured == pytest.approx(expected, rel=1e-9)
+
+    def test_concurrent_read_cost_is_bounded_by_delta_positive_formula(self):
+        system, config = build_system()
+        system.invoke_write(b"overlapping write", writer=0, at=0.0)
+        read_op = system.invoke_read(reader=0, at=1.0)
+        system.run_until_idle()
+        measured = system.operation_cost(read_op)
+        upper = mbr_read_cost(config.n1, config.n2, config.k, config.d, delta=1)
+        assert measured <= upper + 1e-9
+
+    def test_concurrent_read_is_cheaper_than_or_equal_to_worst_case(self):
+        # When served directly from L1 lists the read moves full values
+        # (cost <= n1) plus any regeneration traffic that still happened.
+        system, config = build_system()
+        system.invoke_write(b"v", writer=0, at=0.0)
+        read_op = system.invoke_read(reader=0, at=0.5)
+        system.run_until_idle()
+        assert system.operation_cost(read_op) <= (
+            mbr_read_cost(config.n1, config.n2, config.k, config.d, delta=1) + 1e-9
+        )
+
+    def test_quiescent_read_cost_stays_flat_as_n_grows(self):
+        # Keep k = d = n/2 (k proportional to n, as the paper assumes) and
+        # check that the read cost converges to a constant instead of growing
+        # linearly with the system size.
+        sizes = (4, 8, 16)
+        costs = []
+        for n in sizes:
+            system, config = build_system(n1=n, n2=n, f1=n // 4, f2=n // 4)
+            system.write(b"flat")
+            system.run_until_idle()
+            result = system.read()
+            costs.append(system.operation_cost(result.op_id))
+        growth = costs[-1] / costs[0]
+        size_growth = sizes[-1] / sizes[0]
+        assert growth < size_growth / 2  # clearly sub-linear (Theta(1))
+        assert costs[-1] < sizes[-1]  # strictly below the n1 baseline of delta > 0
+
+
+class TestStorageCost:
+    def test_l2_storage_matches_lemma_v3(self):
+        system, config = build_system()
+        system.write(b"stored")
+        system.run_until_idle()
+        expected = mbr_storage_cost_l2(config.n2, config.k, config.d)
+        assert system.storage.l2_cost == pytest.approx(expected, rel=1e-9)
+
+    def test_l2_storage_independent_of_number_of_writes(self):
+        system, config = build_system()
+        for index in range(4):
+            system.write(bytes([index + 1]) * 3)
+            system.run_until_idle()
+        expected = mbr_storage_cost_l2(config.n2, config.k, config.d)
+        assert system.storage.l2_cost == pytest.approx(expected, rel=1e-9)
+
+    def test_temporary_storage_peaks_during_write_then_drains(self):
+        system, _ = build_system()
+        result = system.write(b"spike")
+        peak_during = system.storage.l1_peak
+        system.run_until_idle()
+        assert peak_during >= 1.0  # at least one full copy lived in L1
+        assert system.storage.l1_cost == 0.0
+        assert system.storage.temporary_clear_time(result.tag) is not None
+
+    def test_l1_peak_bounded_by_copies_of_concurrent_writes(self):
+        system, config = build_system()
+        for index in range(2):
+            system.invoke_write(bytes([index + 1]) * 4, writer=index, at=0.0)
+        system.run_until_idle()
+        # At most (number of concurrent writes) values per L1 server.
+        assert system.storage.l1_peak <= 2 * config.n1

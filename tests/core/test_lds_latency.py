@@ -1,0 +1,113 @@
+"""Tests that measured operation durations respect the Lemma V.4 bounds."""
+
+import pytest
+
+from repro.core.analysis import latency_bounds
+from repro.core.config import LDSConfig
+from repro.core.system import LDSSystem
+from repro.net.latency import BoundedLatencyModel, FixedLatencyModel
+
+
+def build_system(tau0=1.0, tau1=1.0, tau2=10.0, bounded_random=False, seed=0):
+    config = LDSConfig(n1=5, n2=6, f1=1, f2=1)
+    if bounded_random:
+        latency = BoundedLatencyModel(tau0=tau0, tau1=tau1, tau2=tau2, seed=seed)
+    else:
+        latency = FixedLatencyModel(tau0=tau0, tau1=tau1, tau2=tau2)
+    return LDSSystem(config, num_writers=2, num_readers=2, latency_model=latency)
+
+
+class TestWriteLatency:
+    def test_write_duration_with_fixed_delays_is_exactly_the_bound(self):
+        system = build_system()
+        result = system.write(b"time me")
+        assert result.duration == pytest.approx(latency_bounds(1, 1, 10).write)
+
+    @pytest.mark.parametrize("tau2", [2.0, 10.0, 50.0])
+    def test_write_duration_does_not_depend_on_tau2(self, tau2):
+        # The client-visible write never waits for the back-end layer.
+        system = build_system(tau2=tau2)
+        result = system.write(b"independent of backend latency")
+        assert result.duration == pytest.approx(latency_bounds(1, 1, tau2).write)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_write_duration_respects_the_bound_with_random_delays(self, seed):
+        system = build_system(bounded_random=True, seed=seed)
+        bound = latency_bounds(1, 1, 10).write
+        for index in range(3):
+            result = system.write(bytes([index + 1]))
+            assert result.duration <= bound + 1e-9
+
+    def test_extended_write_clears_l1_within_the_extended_bound(self):
+        system = build_system()
+        result = system.write(b"extended write")
+        system.run_until_idle()
+        clear_time = system.storage.temporary_clear_time(result.tag)
+        assert clear_time is not None
+        extended_duration = clear_time - result.invoked_at
+        assert extended_duration <= latency_bounds(1, 1, 10).extended_write + 1e-9
+
+
+class TestReadLatency:
+    def test_quiescent_read_duration_respects_the_bound(self):
+        system = build_system()
+        system.write(b"value")
+        system.run_until_idle()
+        result = system.read()
+        assert result.duration <= latency_bounds(1, 1, 10).read + 1e-9
+
+    def test_concurrent_read_duration_respects_the_bound(self):
+        system = build_system()
+        system.invoke_write(b"concurrent", writer=0, at=0.0)
+        read_op = system.invoke_read(reader=0, at=0.5)
+        system.run_until_idle()
+        result = system.results[read_op]
+        assert result.duration <= latency_bounds(1, 1, 10).read + 1e-9
+
+    def test_read_of_initial_value_respects_the_bound(self):
+        system = build_system()
+        result = system.read()
+        assert result.duration <= latency_bounds(1, 1, 10).read + 1e-9
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_read_durations_with_random_delays_respect_the_bound(self, seed):
+        system = build_system(bounded_random=True, seed=seed)
+        system.write(b"randomised")
+        system.run_until_idle()
+        bound = latency_bounds(1, 1, 10).read
+        for _ in range(3):
+            result = system.read()
+            assert result.duration <= bound + 1e-9
+
+    def test_concurrent_read_is_faster_than_quiescent_read_with_slow_backend(self):
+        # Serving from the edge avoids the 2*tau2 round trip to L2: with a
+        # much slower back-end, a read overlapping a write completes sooner
+        # than a read that must regenerate from L2.
+        slow_backend = 50.0
+        quiescent = build_system(tau2=slow_backend)
+        quiescent.write(b"value")
+        quiescent.run_until_idle()
+        quiescent_read = quiescent.read()
+
+        concurrent = build_system(tau2=slow_backend)
+        concurrent.invoke_write(b"value", writer=0, at=0.0)
+        read_op = concurrent.invoke_read(reader=0, at=1.0)
+        concurrent.run_until_idle()
+        concurrent_read = concurrent.results[read_op]
+        assert concurrent_read.duration < quiescent_read.duration
+
+
+class TestLatencyScaling:
+    def test_durations_scale_with_tau1(self):
+        fast = build_system(tau0=1, tau1=1, tau2=10).write(b"x").duration
+        slow = build_system(tau0=2, tau1=2, tau2=10).write(b"x").duration
+        assert slow == pytest.approx(2 * fast)
+
+    def test_quiescent_read_scales_with_tau2(self):
+        def quiescent_read_duration(tau2):
+            system = build_system(tau2=tau2)
+            system.write(b"v")
+            system.run_until_idle()
+            return system.read().duration
+
+        assert quiescent_read_duration(20.0) > quiescent_read_duration(5.0)

@@ -1,0 +1,117 @@
+"""Tests for the multi-object system (Section V-A.1 / Figure 6)."""
+
+import pytest
+
+from repro.core.analysis import multi_object_storage_bounds
+from repro.core.config import LDSConfig
+from repro.core.multi_object import MultiObjectSystem
+from repro.net.latency import BoundedLatencyModel
+
+
+def build_multi(num_objects=4, n=5, f=1, seed=7):
+    config = LDSConfig.symmetric(n=n, f=f)
+    return MultiObjectSystem(
+        config, num_objects=num_objects,
+        latency_factory=lambda index: BoundedLatencyModel(tau0=1, tau1=1, tau2=5,
+                                                          seed=index + seed),
+        seed=seed,
+    ), config
+
+
+class TestConstruction:
+    def test_independent_instances_per_object(self):
+        multi, _ = build_multi(num_objects=3)
+        assert len(multi.systems) == 3
+        object_ids = {system.object_id for system in multi.systems}
+        assert object_ids == {"object-0", "object-1", "object-2"}
+
+    def test_at_least_one_object_required(self):
+        config = LDSConfig.symmetric(n=5, f=1)
+        with pytest.raises(ValueError):
+            MultiObjectSystem(config, num_objects=0)
+
+
+class TestWorkloadsAndStorage:
+    def test_scheduled_writes_all_complete(self):
+        multi, _ = build_multi(num_objects=3)
+        ops = [
+            multi.schedule_write(0, b"a", at=0.0),
+            multi.schedule_write(1, b"b", at=0.0),
+            multi.schedule_write(2, b"c", at=5.0),
+        ]
+        multi.run_all()
+        assert multi.all_operations_complete()
+        assert len(ops) == 3
+
+    def test_reads_return_written_values_per_object(self):
+        multi, _ = build_multi(num_objects=2)
+        multi.schedule_write(0, b"object zero", at=0.0)
+        multi.schedule_write(1, b"object one", at=0.0)
+        multi.schedule_read(0, at=100.0)
+        multi.schedule_read(1, at=100.0)
+        multi.run_all()
+        values = {
+            system.object_id: [op.value for op in system.history().reads()]
+            for system in multi.systems
+        }
+        assert values["object-0"] == [b"object zero"]
+        assert values["object-1"] == [b"object one"]
+
+    def test_uniform_write_load_stays_well_formed(self):
+        multi, _ = build_multi(num_objects=4)
+        multi.schedule_uniform_write_load(writes_per_unit_time=0.3, duration=60.0)
+        multi.run_all()
+        assert multi.all_operations_complete()
+        for system in multi.systems:
+            assert system.history().is_well_formed()
+
+    def test_l2_cost_scales_linearly_with_object_count(self):
+        small, config = build_multi(num_objects=2)
+        large, _ = build_multi(num_objects=6)
+        expected_per_object = config.n2 * float(small.systems[0].code.costs.element_fraction)
+        assert small.total_l2_cost() == pytest.approx(2 * expected_per_object)
+        assert large.total_l2_cost() == pytest.approx(6 * expected_per_object)
+
+    def test_l1_storage_drains_after_quiescence(self):
+        multi, _ = build_multi(num_objects=3)
+        multi.schedule_uniform_write_load(writes_per_unit_time=0.2, duration=50.0)
+        multi.run_all()
+        final_time = max(system.simulator.now for system in multi.systems) + 1.0
+        samples = multi.storage_timeseries([final_time])
+        assert samples[0].l1_cost == pytest.approx(0.0)
+        assert samples[0].l2_cost == pytest.approx(multi.total_l2_cost())
+
+    def test_storage_timeseries_is_sorted_and_complete(self):
+        multi, _ = build_multi(num_objects=2)
+        multi.schedule_write(0, b"x", at=0.0)
+        multi.run_all()
+        samples = multi.storage_timeseries([10.0, 0.0, 5.0])
+        assert [sample.time for sample in samples] == [0.0, 5.0, 10.0]
+        assert all(sample.total >= sample.l2_cost for sample in samples)
+
+    def test_peak_l1_cost_positive_under_write_load(self):
+        multi, _ = build_multi(num_objects=3)
+        multi.schedule_uniform_write_load(writes_per_unit_time=0.25, duration=40.0)
+        multi.run_all()
+        assert multi.peak_l1_cost() >= 1.0
+
+
+class TestAgainstLemmaV5:
+    def test_measured_storage_within_the_lemma_bounds(self):
+        multi, config = build_multi(num_objects=5, n=5, f=1)
+        ops = multi.schedule_uniform_write_load(writes_per_unit_time=0.5, duration=40.0)
+        multi.run_all()
+        theta = len(ops)  # trivially upper-bounds concurrent writes per tau1
+        bounds = multi_object_storage_bounds(
+            num_objects=5, n1=config.n1, n2=config.n2, k=config.k, theta=theta, mu=5.0
+        )
+        assert multi.peak_l1_cost() <= bounds.l1_bound + 1e-9
+        assert multi.total_l2_cost() <= bounds.l2_bound + 1e-9
+
+    def test_l2_dominates_when_objects_far_exceed_write_rate(self):
+        multi, _ = build_multi(num_objects=8)
+        multi.schedule_write(0, b"only one write", at=0.0)
+        multi.run_all()
+        final_time = max(system.simulator.now for system in multi.systems) + 1.0
+        sample = multi.storage_timeseries([final_time])[0]
+        assert sample.l2_cost > sample.l1_cost

@@ -1,0 +1,91 @@
+"""Unit tests for polynomials over GF(2^8)."""
+
+import pytest
+
+from repro.gf.gf256 import GF256
+from repro.gf.polynomial import GFPolynomial
+
+
+class TestBasics:
+    def test_zero_polynomial(self):
+        zero = GFPolynomial.zero()
+        assert zero.is_zero()
+        assert zero.degree == -1
+
+    def test_trailing_zeros_trimmed(self):
+        poly = GFPolynomial([1, 2, 0, 0])
+        assert poly.degree == 1
+        assert poly.coefficients == [1, 2]
+
+    def test_constant(self):
+        assert GFPolynomial.constant(7).evaluate(123) == 7
+
+    def test_monomial(self):
+        poly = GFPolynomial.monomial(3, coefficient=5)
+        assert poly.degree == 3
+        assert poly.evaluate(2) == GF256.mul(5, GF256.pow(2, 3))
+
+    def test_equality(self):
+        assert GFPolynomial([1, 2]) == GFPolynomial([1, 2, 0])
+        assert GFPolynomial([1]) != GFPolynomial([2])
+
+
+class TestArithmetic:
+    def test_addition_is_coefficientwise_xor(self):
+        a = GFPolynomial([1, 2, 3])
+        b = GFPolynomial([4, 5])
+        assert (a + b).coefficients == [1 ^ 4, 2 ^ 5, 3]
+
+    def test_addition_cancels_itself(self):
+        poly = GFPolynomial([7, 9, 11])
+        assert (poly + poly).is_zero()
+
+    def test_multiplication_by_zero(self):
+        assert (GFPolynomial([1, 2]) * GFPolynomial.zero()).is_zero()
+
+    def test_multiplication_degree(self):
+        a = GFPolynomial([1, 1])
+        b = GFPolynomial([1, 0, 1])
+        assert (a * b).degree == 3
+
+    def test_multiplication_matches_evaluation(self):
+        a = GFPolynomial([3, 1, 4])
+        b = GFPolynomial([1, 5])
+        product = a * b
+        for x in (0, 1, 2, 77, 255):
+            assert product.evaluate(x) == GF256.mul(a.evaluate(x), b.evaluate(x))
+
+    def test_scale(self):
+        poly = GFPolynomial([1, 2, 3])
+        scaled = poly.scale(9)
+        for x in (0, 3, 200):
+            assert scaled.evaluate(x) == GF256.mul(9, poly.evaluate(x))
+
+    def test_evaluate_many(self):
+        poly = GFPolynomial([5, 1])
+        assert poly.evaluate_many([0, 1, 2]) == [5, 5 ^ 1, 5 ^ 2]
+
+
+class TestInterpolation:
+    def test_interpolates_through_all_points(self):
+        points = [(1, 10), (2, 200), (3, 7), (4, 99)]
+        poly = GFPolynomial.interpolate(points)
+        assert poly.degree <= 3
+        for x, y in points:
+            assert poly.evaluate(x) == y
+
+    def test_recovers_original_polynomial(self):
+        original = GFPolynomial([17, 42, 9])
+        xs = [1, 2, 3]
+        points = [(x, original.evaluate(x)) for x in xs]
+        recovered = GFPolynomial.interpolate(points)
+        assert recovered == original
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(ValueError):
+            GFPolynomial.interpolate([(1, 2), (1, 3)])
+
+    def test_single_point(self):
+        poly = GFPolynomial.interpolate([(5, 123)])
+        assert poly.evaluate(5) == 123
+        assert poly.degree <= 0

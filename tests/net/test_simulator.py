@@ -1,0 +1,121 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.net.simulator import Simulator
+
+
+class TestScheduling:
+    def test_initial_time_is_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_run_in_time_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(5.0, lambda: order.append("late"))
+        simulator.schedule(1.0, lambda: order.append("early"))
+        simulator.schedule(3.0, lambda: order.append("middle"))
+        simulator.run_until_idle()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_break_by_scheduling_order(self):
+        simulator = Simulator()
+        order = []
+        simulator.schedule(1.0, lambda: order.append("first"))
+        simulator.schedule(1.0, lambda: order.append("second"))
+        simulator.run_until_idle()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule(2.5, lambda: times.append(simulator.now))
+        simulator.run_until_idle()
+        assert times == [2.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(5.0, lambda: None)
+        simulator.run_until_idle()
+        with pytest.raises(ValueError):
+            simulator.schedule_at(1.0, lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        simulator = Simulator()
+        seen = []
+
+        def chain(depth):
+            seen.append(depth)
+            if depth < 3:
+                simulator.schedule(1.0, lambda: chain(depth + 1))
+
+        simulator.schedule(0.0, lambda: chain(0))
+        simulator.run_until_idle()
+        assert seen == [0, 1, 2, 3]
+        assert simulator.now == 3.0
+
+
+class TestRunControl:
+    def test_run_until_time_bound(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append(1))
+        simulator.schedule(10.0, lambda: fired.append(10))
+        simulator.run(until=5.0)
+        assert fired == [1]
+        assert simulator.now == 5.0
+        simulator.run_until_idle()
+        assert fired == [1, 10]
+
+    def test_run_with_event_budget(self):
+        simulator = Simulator()
+        fired = []
+        for i in range(5):
+            simulator.schedule(i, lambda i=i: fired.append(i))
+        simulator.run(max_events=2)
+        assert fired == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_processed_counter(self):
+        simulator = Simulator()
+        for i in range(3):
+            simulator.schedule(i, lambda: None)
+        simulator.run_until_idle()
+        assert simulator.events_processed == 3
+
+    def test_run_until_idle_budget_guard(self):
+        simulator = Simulator()
+
+        def forever():
+            simulator.schedule(1.0, forever)
+
+        simulator.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            simulator.run_until_idle(max_events=100)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_run(self):
+        simulator = Simulator()
+        fired = []
+        handle = simulator.schedule(1.0, lambda: fired.append("no"))
+        handle.cancel()
+        simulator.run_until_idle()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_one_of_many(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(1.0, lambda: fired.append("a"))
+        handle = simulator.schedule(2.0, lambda: fired.append("b"))
+        simulator.schedule(3.0, lambda: fired.append("c"))
+        handle.cancel()
+        simulator.run_until_idle()
+        assert fired == ["a", "c"]

@@ -1,0 +1,74 @@
+"""Tests for metric summaries and the workload runner."""
+
+import pytest
+
+from repro.baselines.abd import ABDSystem
+from repro.core.config import LDSConfig
+from repro.core.system import LDSSystem
+from repro.net.latency import FixedLatencyModel
+from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.metrics import LatencySummary, percentile, summarize_latencies
+from repro.workloads.runner import WorkloadRunner
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        values = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert percentile(values, 0.5) == 5
+        assert percentile(values, 0.95) == 10
+        assert percentile(values, 0.0) == 1
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_summary_of_empty_sequence(self):
+        summary = summarize_latencies([])
+        assert summary == LatencySummary.empty()
+        assert summary.count == 0
+
+    def test_summary_statistics(self):
+        summary = summarize_latencies([4.0, 2.0, 6.0, 8.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(5.0)
+        assert summary.minimum == 2.0 and summary.maximum == 8.0
+        assert summary.p50 == 4.0
+
+
+class TestRunnerWithLDS:
+    def test_sequential_workload_report(self):
+        config = LDSConfig(n1=5, n2=6, f1=1, f2=1)
+        system = LDSSystem(config, num_writers=1, num_readers=1,
+                           latency_model=FixedLatencyModel())
+        workload = WorkloadGenerator(seed=1).sequential(num_writes=2, num_reads=2, spacing=60)
+        report = WorkloadRunner(system).run(workload)
+        assert report.incomplete_operations == 0
+        assert report.is_atomic
+        assert report.write_latency.count == 2
+        assert report.read_latency.count == 2
+        assert len(report.write_costs) == 2
+        assert report.mean_write_cost > report.mean_read_cost > 0
+        assert report.total_communication_cost > 0
+
+    def test_runner_can_skip_atomicity_check(self):
+        config = LDSConfig(n1=3, n2=4, f1=1, f2=1)
+        system = LDSSystem(config, latency_model=FixedLatencyModel())
+        workload = WorkloadGenerator(seed=2).sequential(num_writes=1, num_reads=1, spacing=60)
+        report = WorkloadRunner(system, check_atomicity=False).run(workload)
+        assert report.atomicity_violation is None
+        assert report.incomplete_operations == 0
+
+
+class TestRunnerWithBaselines:
+    def test_same_workload_runs_on_abd(self):
+        system = ABDSystem(n=5, num_writers=1, num_readers=1,
+                           latency_model=FixedLatencyModel())
+        workload = WorkloadGenerator(seed=3).sequential(num_writes=2, num_reads=2, spacing=30)
+        report = WorkloadRunner(system).run(workload)
+        assert report.incomplete_operations == 0
+        assert report.is_atomic
+        # ABD write cost is n, read cost up to 2n.
+        assert report.mean_write_cost == pytest.approx(5.0)
+        assert report.mean_read_cost >= 5.0

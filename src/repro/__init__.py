@@ -14,7 +14,10 @@ with every substrate it depends on:
 * ``repro.baselines`` -- ABD (replication) and CAS (single-layer coded)
   atomic registers for comparison;
 * ``repro.consistency`` -- operation histories and atomicity checking;
-* ``repro.workloads`` -- workload generation and measurement.
+* ``repro.workloads`` -- workload generation and measurement;
+* ``repro.cluster`` -- the scale-out layer: consistent-hash placement of
+  object shards onto server pools, a keyed object router fanning out to
+  per-shard LDS instances, and rate-limited background repair.
 
 Quickstart::
 
@@ -46,9 +49,25 @@ from repro.net import (
     Network,
     Simulator,
 )
-from repro.workloads import Workload, WorkloadGenerator, WorkloadRunner
+from repro.workloads import (
+    KeyedWorkloadRunner,
+    UniformKeySampler,
+    Workload,
+    WorkloadGenerator,
+    WorkloadRunner,
+    ZipfKeySampler,
+)
+from repro.cluster import (
+    ClusterNode,
+    HashRing,
+    Membership,
+    ObjectRouter,
+    RebalancePlan,
+    RepairScheduler,
+    ShardedCluster,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LDSConfig",
@@ -73,5 +92,15 @@ __all__ = [
     "Workload",
     "WorkloadGenerator",
     "WorkloadRunner",
+    "KeyedWorkloadRunner",
+    "UniformKeySampler",
+    "ZipfKeySampler",
+    "ClusterNode",
+    "HashRing",
+    "Membership",
+    "ObjectRouter",
+    "RebalancePlan",
+    "RepairScheduler",
+    "ShardedCluster",
     "__version__",
 ]

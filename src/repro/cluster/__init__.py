@@ -1,0 +1,57 @@
+"""The sharded cluster layer: placement, routing and background repair.
+
+The core package simulates *one* LDS object per
+:class:`~repro.core.system.LDSSystem`; this package adds the cluster
+machinery a real deployment of the paper's two-layer algorithm needs to
+serve millions of objects:
+
+* :mod:`repro.cluster.ring` -- consistent hashing with virtual nodes
+  (:class:`HashRing`), mapping object keys onto named server pools;
+* :mod:`repro.cluster.placement` -- placement maps and deterministic
+  :class:`RebalancePlan` generation from membership changes;
+* :mod:`repro.cluster.membership` -- :class:`ClusterNode` / pool modelling
+  with join / leave / fail / recover events;
+* :mod:`repro.cluster.router` -- :class:`ObjectRouter`, the keyed
+  ``write/read`` front-end that fans out to per-shard LDS instances with
+  per-shard operation batching;
+* :mod:`repro.cluster.repair` -- :class:`RepairScheduler`, rate-limited
+  background L2 repairs driven by failure events;
+* :mod:`repro.cluster.deployment` -- :class:`ShardedCluster`, the facade
+  wiring all of the above together.
+"""
+
+from repro.cluster.ring import HashRing, RingBalance, stable_hash
+from repro.cluster.placement import (
+    RebalancePlan,
+    ShardMove,
+    diff_placements,
+    placement_of,
+)
+from repro.cluster.membership import (
+    ClusterNode,
+    Membership,
+    MembershipEvent,
+)
+from repro.cluster.router import ObjectRouter, RouterStats, Shard
+from repro.cluster.repair import RepairScheduler, RepairStats, RepairTask
+from repro.cluster.deployment import ShardedCluster
+
+__all__ = [
+    "HashRing",
+    "RingBalance",
+    "stable_hash",
+    "RebalancePlan",
+    "ShardMove",
+    "diff_placements",
+    "placement_of",
+    "ClusterNode",
+    "Membership",
+    "MembershipEvent",
+    "ObjectRouter",
+    "RouterStats",
+    "Shard",
+    "RepairScheduler",
+    "RepairStats",
+    "RepairTask",
+    "ShardedCluster",
+]

@@ -1,0 +1,131 @@
+"""The sharded-cluster facade: membership + router + repair, pre-wired.
+
+:class:`ShardedCluster` is the one-stop entry point for scale-out
+experiments: it builds a :class:`~repro.cluster.membership.Membership`
+with one full node set per named pool, an
+:class:`~repro.cluster.router.ObjectRouter` over it, and a
+:class:`~repro.cluster.repair.RepairScheduler` subscribed to failures --
+then exposes the small driving surface the examples and benchmarks use
+(keyed reads/writes, node failure injection, pool join/leave with
+automatic rebalancing, and cluster-wide inspection helpers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.cluster.membership import ClusterNode, Membership, MembershipEvent
+from repro.cluster.placement import RebalancePlan
+from repro.cluster.repair import RepairScheduler
+from repro.cluster.router import ObjectRouter, RouterStats
+from repro.consistency.linearizability import AtomicityViolation
+from repro.core.config import LDSConfig
+from repro.core.results import OperationResult
+from repro.net.latency import LatencyModel
+
+
+class ShardedCluster:
+    """A multi-pool, multi-object LDS deployment with background repair."""
+
+    def __init__(self, config: LDSConfig, pool_names: List[str], *,
+                 vnodes: int = 128,
+                 writers_per_shard: int = 1, readers_per_shard: int = 1,
+                 latency_factory: Optional[Callable[[str, str], LatencyModel]] = None,
+                 repair_min_interval: float = 5.0,
+                 repair_max_concurrent: int = 1,
+                 repair_detection_delay: float = 1.0) -> None:
+        if not pool_names:
+            raise ValueError("a cluster needs at least one pool")
+        self.config = config
+        self.membership = Membership.for_pools(pool_names, n1=config.n1,
+                                               n2=config.n2, vnodes=vnodes)
+        self.router = ObjectRouter(
+            config, self.membership,
+            writers_per_shard=writers_per_shard,
+            readers_per_shard=readers_per_shard,
+            latency_factory=latency_factory,
+        )
+        self.repair = RepairScheduler(
+            self.router,
+            min_interval=repair_min_interval,
+            max_concurrent=repair_max_concurrent,
+            detection_delay=repair_detection_delay,
+        )
+
+    # -- driving ------------------------------------------------------------------
+
+    def write(self, key: str, value: bytes,
+              writer: Union[int, str] = 0) -> OperationResult:
+        return self.router.write(key, value, writer=writer)
+
+    def read(self, key: str, reader: Union[int, str] = 0) -> OperationResult:
+        return self.router.read(key, reader=reader)
+
+    def invoke_write(self, key: str, value: bytes, writer: Union[int, str] = 0,
+                     at: Optional[float] = None) -> str:
+        return self.router.invoke_write(key, value, writer=writer, at=at)
+
+    def invoke_read(self, key: str, reader: Union[int, str] = 0,
+                    at: Optional[float] = None) -> str:
+        return self.router.invoke_read(key, reader=reader, at=at)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        self.router.run_until_idle(max_events=max_events)
+
+    # -- membership operations ---------------------------------------------------------
+
+    def fail_node(self, node_id: str, time: float = 0.0) -> MembershipEvent:
+        """Crash one pool node; the repair scheduler takes it from there."""
+        return self.membership.fail(node_id, time=time)
+
+    def add_pool(self, pool: str, time: float = 0.0,
+                 weight: float = 1.0) -> RebalancePlan:
+        """Join a new pool (full node set) and rebalance onto it."""
+        self.membership.join_pool(pool, n1=self.config.n1, n2=self.config.n2,
+                                  weight=weight, time=time)
+        return self.router.rebalance(reason=f"join {pool}", time=time)
+
+    def remove_pool(self, pool: str, time: float = 0.0) -> RebalancePlan:
+        """Drain a pool out of the ring and migrate its shards away."""
+        self.membership.leave_pool(pool, time=time)
+        return self.router.rebalance(reason=f"leave {pool}", time=time)
+
+    def node(self, node_id: str) -> ClusterNode:
+        return self.membership.node(node_id)
+
+    # -- inspection ---------------------------------------------------------------------
+
+    def check_atomicity(self) -> Optional[AtomicityViolation]:
+        """Per-object (per-epoch) atomicity over everything recorded so far."""
+        return self.router.check_atomicity()
+
+    def history(self):
+        """The merged (id-qualified) history across all shards and epochs."""
+        return self.router.history()
+
+    def operation_cost(self, handle: str) -> float:
+        return self.router.operation_cost(handle)
+
+    def shard_counts(self) -> Dict[str, int]:
+        return self.router.shard_counts()
+
+    def storage_by_pool(self) -> Dict[str, float]:
+        return self.router.storage_by_pool()
+
+    @property
+    def communication_cost(self) -> float:
+        return self.router.communication_cost
+
+    @property
+    def router_stats(self) -> RouterStats:
+        return self.router.stats
+
+    def describe(self) -> str:
+        """One-line cluster summary."""
+        return (
+            f"ShardedCluster(pools={len(self.membership.pools)}, "
+            f"shards={len(self.router.shards)}, {self.config.describe()})"
+        )
+
+
+__all__ = ["ShardedCluster"]

@@ -1,0 +1,218 @@
+"""Cluster nodes, pools and the membership model.
+
+A *pool* is a named deployment slot able to host many object shards; each
+shard placed on a pool gets its own two-layer LDS instance whose simulated
+server processes run "on" the pool's :class:`ClusterNode` members -- one
+node per L1 server slot and one per L2 server slot of the configured
+deployment.  The membership model tracks which nodes exist and whether
+they are alive, and emits :class:`MembershipEvent` records on every
+``join`` / ``leave`` / ``fail`` / ``recover`` transition:
+
+* a pool enters the consistent-hash ring when its first node joins and
+  leaves the ring when its last node leaves -- both transitions change
+  shard placement and therefore trigger deterministic rebalancing plans
+  (computed by the router over its tracked keys);
+* a node *failure* does not change placement: the pool keeps serving with
+  degraded redundancy and the :class:`~repro.cluster.repair.RepairScheduler`
+  restores the failed server slot in the background.
+
+Listeners (the router and the repair scheduler) subscribe with
+:meth:`Membership.subscribe` and receive every event synchronously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.cluster.placement import placement_of
+from repro.cluster.ring import HashRing
+
+#: Node lifecycle states.
+ALIVE = "alive"
+FAILED = "failed"
+LEFT = "left"
+
+#: Node roles: which server slot of a shard deployment the node hosts.
+L1_ROLE = "l1"
+L2_ROLE = "l2"
+
+#: Event kinds.
+JOIN = "join"
+LEAVE = "leave"
+FAIL = "fail"
+RECOVER = "recover"
+
+
+@dataclass(frozen=True)
+class ClusterNode:
+    """One server slot of a pool (hosts the same-index server of every shard)."""
+
+    pool: str
+    role: str
+    index: int
+    status: str = ALIVE
+
+    def __post_init__(self) -> None:
+        if self.role not in (L1_ROLE, L2_ROLE):
+            raise ValueError(f"node role must be '{L1_ROLE}' or '{L2_ROLE}'")
+        if self.index < 0:
+            raise ValueError("node index must be non-negative")
+
+    @property
+    def node_id(self) -> str:
+        return f"{self.pool}/{self.role}-{self.index}"
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One membership transition, delivered synchronously to subscribers."""
+
+    kind: str
+    node: ClusterNode
+    time: float
+    #: True when the transition added or removed a pool from the hash ring
+    #: (i.e. shard placement changed and a rebalance is due).
+    ring_changed: bool = False
+
+
+class Membership:
+    """The registry of pools and nodes backing a sharded cluster."""
+
+    def __init__(self, vnodes: int = 128) -> None:
+        self.ring = HashRing(vnodes=vnodes)
+        self._nodes: Dict[str, ClusterNode] = {}
+        self._listeners: List[Callable[[MembershipEvent], None]] = []
+        self.events: List[MembershipEvent] = []
+        self._pool_weights: Dict[str, float] = {}
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def for_pools(cls, pool_names: Iterable[str], n1: int, n2: int,
+                  vnodes: int = 128) -> "Membership":
+        """Build a membership with one full node set (n1 + n2 slots) per pool."""
+        membership = cls(vnodes=vnodes)
+        for pool in pool_names:
+            membership.join_pool(pool, n1=n1, n2=n2)
+        return membership
+
+    def join_pool(self, pool: str, n1: int, n2: int, weight: float = 1.0,
+                  time: float = 0.0) -> List[MembershipEvent]:
+        """Join every server slot of a new pool at once."""
+        events = []
+        self._pool_weights[pool] = weight
+        for index in range(n1):
+            events.append(self.join(ClusterNode(pool=pool, role=L1_ROLE, index=index),
+                                    time=time))
+        for index in range(n2):
+            events.append(self.join(ClusterNode(pool=pool, role=L2_ROLE, index=index),
+                                    time=time))
+        return events
+
+    def leave_pool(self, pool: str, time: float = 0.0) -> List[MembershipEvent]:
+        """Remove every remaining node of a pool (the last leave drops the ring entry)."""
+        return [self.leave(node.node_id, time=time)
+                for node in self.pool_nodes(pool)]
+
+    # -- transitions --------------------------------------------------------------
+
+    def join(self, node: ClusterNode, time: float = 0.0) -> MembershipEvent:
+        """Add a node; the pool enters the ring with its first node."""
+        if node.node_id in self._nodes and self._nodes[node.node_id].status != LEFT:
+            raise ValueError(f"node {node.node_id!r} is already a member")
+        ring_changed = node.pool not in self.ring
+        self._nodes[node.node_id] = replace(node, status=ALIVE)
+        if ring_changed:
+            self.ring.add_node(node.pool, weight=self._pool_weights.get(node.pool, 1.0))
+        return self._emit(JOIN, self._nodes[node.node_id], time, ring_changed)
+
+    def leave(self, node_id: str, time: float = 0.0) -> MembershipEvent:
+        """Administratively remove a node; the pool leaves the ring with its last node."""
+        node = self._require(node_id)
+        if node.status == LEFT:
+            raise ValueError(f"node {node_id!r} already left")
+        self._nodes[node_id] = replace(node, status=LEFT)
+        pool_empty = not self.pool_nodes(node.pool)
+        if pool_empty:
+            self.ring.remove_node(node.pool)
+        return self._emit(LEAVE, self._nodes[node_id], time, pool_empty)
+
+    def fail(self, node_id: str, time: float = 0.0) -> MembershipEvent:
+        """Mark a node crashed; placement is unchanged (repair handles it)."""
+        node = self._require(node_id)
+        if node.status != ALIVE:
+            raise ValueError(f"only alive nodes can fail (node {node_id!r} is "
+                             f"{node.status})")
+        self._nodes[node_id] = replace(node, status=FAILED)
+        return self._emit(FAIL, self._nodes[node_id], time, False)
+
+    def recover(self, node_id: str, time: float = 0.0) -> MembershipEvent:
+        """Mark a failed node healthy again (called by the repair scheduler)."""
+        node = self._require(node_id)
+        if node.status != FAILED:
+            raise ValueError(f"only failed nodes can recover (node {node_id!r} is "
+                             f"{node.status})")
+        self._nodes[node_id] = replace(node, status=ALIVE)
+        return self._emit(RECOVER, self._nodes[node_id], time, False)
+
+    def _emit(self, kind: str, node: ClusterNode, time: float,
+              ring_changed: bool) -> MembershipEvent:
+        event = MembershipEvent(kind=kind, node=node, time=time,
+                                ring_changed=ring_changed)
+        self.events.append(event)
+        for listener in list(self._listeners):
+            listener(event)
+        return event
+
+    # -- queries --------------------------------------------------------------------
+
+    def _require(self, node_id: str) -> ClusterNode:
+        node = self._nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"unknown node {node_id!r}")
+        return node
+
+    def node(self, node_id: str) -> ClusterNode:
+        """Look up a node by id."""
+        return self._require(node_id)
+
+    def pool_nodes(self, pool: str, status: Optional[str] = None) -> List[ClusterNode]:
+        """Nodes of a pool that have not left, optionally filtered by status."""
+        nodes = [n for n in self._nodes.values()
+                 if n.pool == pool and n.status != LEFT]
+        if status is not None:
+            nodes = [n for n in nodes if n.status == status]
+        return sorted(nodes, key=lambda n: (n.role, n.index))
+
+    def failed_nodes(self, pool: Optional[str] = None) -> List[ClusterNode]:
+        """Every currently failed node (optionally restricted to one pool)."""
+        return [n for n in self._nodes.values()
+                if n.status == FAILED and (pool is None or n.pool == pool)]
+
+    @property
+    def pools(self) -> List[str]:
+        """Pools currently in the ring (i.e. eligible to own shards)."""
+        return self.ring.nodes
+
+    def pool_for(self, key: str) -> str:
+        """The pool that owns ``key`` under the current ring."""
+        return self.ring.node_for(key)
+
+    def placement(self, keys: Iterable[str]) -> Dict[str, str]:
+        """The placement the current ring prescribes for ``keys``."""
+        return placement_of(self.ring, keys)
+
+    # -- observation -------------------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[MembershipEvent], None]) -> None:
+        """Register a callback receiving every future membership event."""
+        self._listeners.append(listener)
+
+
+__all__ = [
+    "ALIVE", "FAILED", "LEFT",
+    "L1_ROLE", "L2_ROLE",
+    "JOIN", "LEAVE", "FAIL", "RECOVER",
+    "ClusterNode", "MembershipEvent", "Membership",
+]

@@ -1,0 +1,81 @@
+"""Shard placement maps and deterministic rebalancing plans.
+
+A *placement* is simply a mapping ``key -> pool``.  The hash ring defines
+the target placement for any key set; membership changes (a pool joining
+or leaving the ring) change that target, and the difference between the
+old and new placements is a :class:`RebalancePlan` -- an explicit, ordered
+list of :class:`ShardMove` entries that the router executes one by one.
+
+Plans are deterministic: the ring is a pure function of its membership and
+moves are emitted in sorted key order, so the same membership transition
+always yields the same plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.cluster.ring import HashRing
+
+
+def placement_of(ring: HashRing, keys: Iterable[str]) -> Dict[str, str]:
+    """The placement the ring currently prescribes for ``keys``."""
+    return {key: ring.node_for(key) for key in keys}
+
+
+@dataclass(frozen=True)
+class ShardMove:
+    """One shard migration: ``key`` moves from ``source`` pool to ``target``."""
+
+    key: str
+    source: str
+    target: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.target:
+            raise ValueError("a shard move needs distinct source and target pools")
+
+
+@dataclass
+class RebalancePlan:
+    """An ordered, deterministic list of shard moves plus bookkeeping."""
+
+    moves: List[ShardMove] = field(default_factory=list)
+    #: Why the plan was generated (e.g. "join pool-4", "leave pool-1").
+    reason: str = ""
+    #: Virtual time at which the membership change happened.
+    time: float = 0.0
+
+    @property
+    def keys_moved(self) -> List[str]:
+        return [move.key for move in self.moves]
+
+    def moved_fraction(self, total_keys: int) -> float:
+        """Fraction of the tracked keyspace this plan relocates."""
+        return len(self.moves) / total_keys if total_keys else 0.0
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+    def __bool__(self) -> bool:
+        return bool(self.moves)
+
+
+def diff_placements(before: Dict[str, str], after: Dict[str, str],
+                    reason: str = "", time: float = 0.0) -> RebalancePlan:
+    """The plan turning placement ``before`` into placement ``after``.
+
+    Keys present only in ``after`` (new shards) need no move -- they are
+    simply created in place -- so only keys present in both mappings with
+    differing owners produce moves.  Moves are sorted by key.
+    """
+    moves = [
+        ShardMove(key=key, source=before[key], target=after[key])
+        for key in sorted(before)
+        if key in after and before[key] != after[key]
+    ]
+    return RebalancePlan(moves=moves, reason=reason, time=time)
+
+
+__all__ = ["ShardMove", "RebalancePlan", "placement_of", "diff_placements"]

@@ -1,0 +1,461 @@
+"""The object router: one ``write/read`` front-end over many LDS shards.
+
+:class:`ObjectRouter` exposes the same driving API style as
+:class:`~repro.core.system.LDSSystem` -- ``invoke_write`` / ``invoke_read``
+/ ``run_until_idle`` / ``history`` / ``operation_cost`` -- but keyed by
+*object key*.  Each key is placed on a server pool by the membership's
+consistent-hash ring, and the router lazily instantiates one full LDS
+deployment (an :class:`LDSSystem` with its own
+:class:`~repro.net.simulator.Simulator`) per key on that pool, exactly the
+way :class:`~repro.core.multi_object.MultiObjectSystem` drives independent
+instances over a shared virtual timeline.
+
+Operations are *batched per shard*: invocations are queued on the target
+shard and injected into its simulator in one pass per flush, so a workload
+touching thousands of keys performs one dispatch walk per shard instead of
+one per operation.  ``run_until_idle`` flushes automatically.
+
+Failures and rebalancing:
+
+* when the membership reports a node **failure**, the router crashes the
+  corresponding server slot (same layer, same index) in every shard hosted
+  on that pool; repair is *not* inline -- it is the job of the
+  :class:`~repro.cluster.repair.RepairScheduler`;
+* when a pool **joins or leaves** the ring, the router computes a
+  deterministic :class:`~repro.cluster.placement.RebalancePlan` over its
+  tracked keys and (on :meth:`rebalance`) migrates each moved shard: the
+  source shard is drained, its current value is fetched with a real
+  protocol read (the migration copy), and a fresh instance is started on
+  the target pool seeded with that value.  Every migration starts a new
+  *epoch* for the key; atomicity is checked per epoch (the carried value
+  is the new epoch's legitimate initial value), and the drain barrier
+  guarantees the real-time order between epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.cluster.membership import FAIL, L1_ROLE, Membership, MembershipEvent
+from repro.cluster.placement import RebalancePlan, ShardMove, diff_placements
+from repro.cluster.ring import RingBalance, stable_hash
+from repro.consistency.history import History, READ, WRITE
+from repro.consistency.linearizability import (
+    AtomicityViolation,
+    check_atomicity_by_tags,
+)
+from repro.core.config import LDSConfig
+from repro.core.results import OperationResult
+from repro.core.system import LDSSystem
+from repro.net.latency import BoundedLatencyModel, LatencyModel
+
+
+@dataclass
+class _PendingOp:
+    """One queued (not yet injected) operation on a shard."""
+
+    handle: str
+    kind: str
+    client: Union[int, str]
+    at: Optional[float]
+    value: Optional[bytes] = None
+
+
+@dataclass
+class Shard:
+    """A live LDS instance serving one object key on one pool."""
+
+    key: str
+    pool: str
+    epoch: int
+    system: LDSSystem
+    pending: List[_PendingOp] = field(default_factory=list)
+    #: Histories of previous epochs (pre-migration), oldest first.
+    retired_histories: List[History] = field(default_factory=list)
+    #: Monotone offset mapping nominal workload times onto the shard clock
+    #: (grows when a batch arrives after its nominal window already passed).
+    time_shift: float = 0.0
+
+    @property
+    def object_id(self) -> str:
+        return self.system.object_id
+
+
+@dataclass
+class RouterStats:
+    """Counters describing the router's batching and migration activity."""
+
+    batches_flushed: int = 0
+    operations_flushed: int = 0
+    largest_batch: int = 0
+    migrations: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches_flushed:
+            return 0.0
+        return self.operations_flushed / self.batches_flushed
+
+
+def _object_id(key: str, epoch: int) -> str:
+    return key if epoch == 0 else f"{key}@e{epoch}"
+
+
+class ObjectRouter:
+    """Routes keyed read/write operations to per-shard LDS instances."""
+
+    def __init__(self, config: LDSConfig, membership: Membership, *,
+                 writers_per_shard: int = 1, readers_per_shard: int = 1,
+                 latency_factory: Optional[Callable[[str, str], LatencyModel]] = None,
+                 encode_cache_size: int = 64) -> None:
+        if writers_per_shard < 1 or readers_per_shard < 1:
+            raise ValueError("each shard needs at least one writer and one reader "
+                             "(reads also implement shard migration)")
+        self.config = config
+        self.membership = membership
+        self.writers_per_shard = writers_per_shard
+        self.readers_per_shard = readers_per_shard
+        self.encode_cache_size = encode_cache_size
+        if latency_factory is None:
+            latency_factory = lambda pool, key: BoundedLatencyModel(
+                seed=stable_hash(f"{pool}:{key}") & 0xFFFFFFFF
+            )
+        self._latency_factory = latency_factory
+        self._shards: Dict[str, Shard] = {}
+        #: handle -> (key, epoch, lds op id); the op id is None until flushed.
+        self._handles: Dict[str, List] = {}
+        self._handle_counter = 0
+        #: results / costs / histories of retired (migrated-away) epochs.
+        self._archived_results: Dict[tuple, Dict[str, OperationResult]] = {}
+        self._archived_costs: Dict[tuple, Dict[str, float]] = {}
+        self._retired_comm_cost = 0.0
+        #: (object_id, op_id) of internal migration-copy reads; excluded
+        #: from the merged history so workload statistics only count
+        #: foreground operations.
+        self._internal_ops: set = set()
+        #: Callbacks invoked for every newly built shard (the repair
+        #: scheduler uses this to cover shards born on degraded pools).
+        self.shard_created_hooks: List[Callable[[Shard], None]] = []
+        self.stats = RouterStats()
+        membership.subscribe(self._on_membership_event)
+
+    # -- shard management -----------------------------------------------------
+
+    @property
+    def shards(self) -> Dict[str, Shard]:
+        return dict(self._shards)
+
+    def shard(self, key: str) -> Shard:
+        """The shard serving ``key``, created on first use."""
+        existing = self._shards.get(key)
+        if existing is not None:
+            return existing
+        pool = self.membership.pool_for(key)
+        shard = self._build_shard(key, pool, epoch=0,
+                                  initial_value=self.config.initial_value)
+        self._shards[key] = shard
+        self._announce_shard(shard)
+        return shard
+
+    def ensure_shards(self, keys) -> None:
+        """Eagerly instantiate shards for ``keys`` (e.g. before failure drills)."""
+        for key in keys:
+            self.shard(key)
+
+    def _build_shard(self, key: str, pool: str, epoch: int,
+                     initial_value: bytes) -> Shard:
+        config = self.config
+        if initial_value != config.initial_value:
+            config = dc_replace(config, initial_value=initial_value)
+        system = LDSSystem(
+            config,
+            num_writers=self.writers_per_shard,
+            num_readers=self.readers_per_shard,
+            latency_model=self._latency_factory(pool, key),
+            object_id=_object_id(key, epoch),
+            encode_cache_size=self.encode_cache_size,
+        )
+        shard = Shard(key=key, pool=pool, epoch=epoch, system=system)
+        # A shard created while some of its pool's nodes are down must start
+        # in the degraded state the pool is actually in.
+        for node in self.membership.failed_nodes(pool):
+            self._crash_slot(shard, node.role, node.index)
+        return shard
+
+    def _announce_shard(self, shard: Shard) -> None:
+        """Fire creation hooks once the shard is registered and routable."""
+        for hook in list(self.shard_created_hooks):
+            hook(shard)
+
+    def shard_counts(self) -> Dict[str, int]:
+        """Live shard count per pool (pools without shards included)."""
+        counts = {pool: 0 for pool in self.membership.pools}
+        for shard in self._shards.values():
+            counts[shard.pool] = counts.get(shard.pool, 0) + 1
+        return counts
+
+    def shard_balance(self) -> RingBalance:
+        """Balance statistics of the current shard placement."""
+        return RingBalance.from_counts(self.shard_counts())
+
+    def storage_by_pool(self) -> Dict[str, float]:
+        """Total (L1 + L2) normalised storage cost hosted on each pool."""
+        totals = {pool: 0.0 for pool in self.membership.pools}
+        for shard in self._shards.values():
+            storage = shard.system.storage
+            totals[shard.pool] = (totals.get(shard.pool, 0.0)
+                                  + storage.l1_cost + storage.l2_cost)
+        return totals
+
+    # -- invoking operations -----------------------------------------------------
+
+    def _new_handle(self, key: str, epoch: int) -> str:
+        self._handle_counter += 1
+        handle = f"{key}/op-{self._handle_counter}"
+        self._handles[handle] = [key, epoch, None]
+        return handle
+
+    def invoke_write(self, key: str, value: bytes, writer: Union[int, str] = 0,
+                     at: Optional[float] = None) -> str:
+        """Queue a write on ``key``'s shard; returns an operation handle."""
+        shard = self.shard(key)
+        handle = self._new_handle(key, shard.epoch)
+        shard.pending.append(_PendingOp(handle=handle, kind=WRITE, client=writer,
+                                        at=at, value=bytes(value)))
+        return handle
+
+    def invoke_read(self, key: str, reader: Union[int, str] = 0,
+                    at: Optional[float] = None) -> str:
+        """Queue a read on ``key``'s shard; returns an operation handle."""
+        shard = self.shard(key)
+        handle = self._new_handle(key, shard.epoch)
+        shard.pending.append(_PendingOp(handle=handle, kind=READ, client=reader,
+                                        at=at))
+        return handle
+
+    # -- batching / execution ---------------------------------------------------------
+
+    def _flush_shard(self, shard: Shard) -> int:
+        """Inject the shard's queued operations into its simulator in one batch."""
+        if not shard.pending:
+            return 0
+        batch = sorted(shard.pending,
+                       key=lambda op: op.at if op.at is not None else -1.0)
+        shard.pending = []
+        now = shard.system.simulator.now
+        # A shard's clock only moves forward.  When a batch's nominal window
+        # has already passed (e.g. a fresh workload on a shard that just ran
+        # to quiescence), shift the *whole batch* forward uniformly: relative
+        # spacing between operations -- and therefore per-client
+        # well-formedness -- is preserved, unlike clamping each one to "now".
+        nominal = [op.at for op in batch if op.at is not None]
+        if nominal and min(nominal) + shard.time_shift < now:
+            shard.time_shift = now - min(nominal)
+        for op in batch:
+            # max() guards against floating-point rounding pushing the
+            # earliest shifted time epsilon below the shard clock.
+            at = None if op.at is None else max(op.at + shard.time_shift, now)
+            if op.kind == WRITE:
+                op_id = shard.system.invoke_write(op.value, writer=op.client,
+                                                  at=at)
+            else:
+                op_id = shard.system.invoke_read(reader=op.client, at=at)
+            self._handles[op.handle][2] = op_id
+        self.stats.batches_flushed += 1
+        self.stats.operations_flushed += len(batch)
+        self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        return len(batch)
+
+    def flush(self) -> int:
+        """Flush every shard's pending batch; returns operations injected."""
+        return sum(self._flush_shard(shard) for shard in self._shards.values())
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Flush all batches, then run every shard's simulator to quiescence."""
+        self.flush()
+        for shard in self._shards.values():
+            shard.system.run_until_idle(max_events=max_events)
+
+    # -- synchronous convenience API ------------------------------------------------
+
+    def write(self, key: str, value: bytes,
+              writer: Union[int, str] = 0) -> OperationResult:
+        """Write ``key`` and run its shard until the write completes."""
+        handle = self.invoke_write(key, value, writer=writer)
+        return self._run_handle(handle)
+
+    def read(self, key: str, reader: Union[int, str] = 0) -> OperationResult:
+        """Read ``key`` and run its shard until the read completes."""
+        handle = self.invoke_read(key, reader=reader)
+        return self._run_handle(handle)
+
+    def _run_handle(self, handle: str) -> OperationResult:
+        key, _epoch, _ = self._handles[handle]
+        shard = self._shards[key]
+        self._flush_shard(shard)
+        op_id = self._handles[handle][2]
+        return shard.system.run_until_complete(op_id)
+
+    # -- results and costs ---------------------------------------------------------------
+
+    def result(self, handle: str) -> Optional[OperationResult]:
+        """The completed result behind a handle, or None if still pending."""
+        key, epoch, op_id = self._resolve(handle)
+        if op_id is None:
+            return None
+        shard = self._shards.get(key)
+        if shard is not None and shard.epoch == epoch:
+            found = shard.system.results.get(op_id)
+            if found is not None:
+                return found
+        return self._archived_results.get((key, epoch), {}).get(op_id)
+
+    def _resolve(self, handle: str) -> tuple:
+        entry = self._handles.get(handle)
+        if entry is None:
+            raise KeyError(f"unknown operation handle {handle!r}")
+        return entry[0], entry[1], entry[2]
+
+    def operation_cost(self, handle: str) -> float:
+        """Normalised communication cost attributed to one routed operation."""
+        key, epoch, op_id = self._resolve(handle)
+        if op_id is None:
+            return 0.0
+        shard = self._shards.get(key)
+        if shard is not None and shard.epoch == epoch:
+            return shard.system.operation_cost(op_id)
+        return self._archived_costs.get((key, epoch), {}).get(op_id, 0.0)
+
+    @property
+    def communication_cost(self) -> float:
+        """Total normalised communication cost across all shards and epochs."""
+        return self._retired_comm_cost + sum(
+            shard.system.communication_cost for shard in self._shards.values()
+        )
+
+    # -- histories and atomicity -----------------------------------------------------------
+
+    def history(self) -> History:
+        """All operations across all shards and epochs, in one merged history.
+
+        Operation and client ids are qualified with the epoch's object id so
+        the merged history stays collision-free and well-formed (every shard
+        has clients named ``writer-0`` etc.).  The merged history is meant
+        for latency / throughput summaries; atomicity is checked per epoch
+        by :meth:`check_atomicity` because each migration epoch has its own
+        initial value.
+        """
+        merged = History(initial_value=self.config.initial_value)
+        for history in self._all_histories():
+            for op in history.operations:
+                if (op.object_id, op.op_id) in self._internal_ops:
+                    continue
+                merged.add(dc_replace(
+                    op,
+                    op_id=f"{op.object_id}/{op.op_id}",
+                    client_id=f"{op.object_id}/{op.client_id}",
+                ))
+        return merged
+
+    def _all_histories(self) -> List[History]:
+        histories: List[History] = []
+        for key in sorted(self._shards):
+            shard = self._shards[key]
+            histories.extend(shard.retired_histories)
+            histories.append(shard.system.history())
+        return histories
+
+    def check_atomicity(self) -> Optional[AtomicityViolation]:
+        """Check every epoch of every shard; returns the first violation found."""
+        for history in self._all_histories():
+            violation = check_atomicity_by_tags(history.complete())
+            if violation is not None:
+                return violation
+        return None
+
+    def incomplete_operations(self) -> int:
+        """Number of invoked-but-unfinished operations across the cluster."""
+        return sum(
+            1 for history in self._all_histories()
+            for op in history if not op.is_complete
+        )
+
+    # -- membership reactions ------------------------------------------------------------
+
+    def _on_membership_event(self, event: MembershipEvent) -> None:
+        if event.kind == FAIL:
+            for shard in self._shards.values():
+                if shard.pool == event.node.pool:
+                    self._crash_slot(shard, event.node.role, event.node.index,
+                                     at=event.time)
+
+    def _crash_slot(self, shard: Shard, role: str, index: int,
+                    at: Optional[float] = None) -> None:
+        """Crash one server slot of a shard, clamping ``at`` to the shard clock."""
+        simulator = shard.system.simulator
+        when = None if at is None or at <= simulator.now else at
+        if role == L1_ROLE:
+            if index < self.config.n1:
+                shard.system.crash_l1(index, at=when)
+        else:
+            if index < self.config.n2:
+                shard.system.crash_l2(index, at=when)
+
+    def shards_on_pool(self, pool: str) -> List[Shard]:
+        """Live shards hosted on ``pool`` in deterministic (key) order."""
+        return [self._shards[key] for key in sorted(self._shards)
+                if self._shards[key].pool == pool]
+
+    # -- rebalancing -----------------------------------------------------------------------
+
+    def pending_rebalance(self, reason: str = "", time: float = 0.0) -> RebalancePlan:
+        """The deterministic plan aligning current shards with the ring."""
+        before = {key: shard.pool for key, shard in self._shards.items()}
+        after = self.membership.placement(before)
+        return diff_placements(before, after, reason=reason, time=time)
+
+    def rebalance(self, reason: str = "", time: float = 0.0) -> RebalancePlan:
+        """Compute the pending plan and migrate every moved shard."""
+        plan = self.pending_rebalance(reason=reason, time=time)
+        for move in plan.moves:
+            self.migrate(move)
+        return plan
+
+    def migrate(self, move: ShardMove) -> Shard:
+        """Move one shard to a new pool (drain, copy via a read, new epoch)."""
+        shard = self._shards[move.key]
+        if shard.pool != move.source:
+            raise ValueError(
+                f"shard {move.key!r} lives on {shard.pool!r}, not {move.source!r}"
+            )
+        # Drain: finish queued and in-flight operations, then copy the value
+        # out with a real protocol read (this is the migration's data copy,
+        # and it is charged to the source shard like any other read).
+        self._flush_shard(shard)
+        shard.system.run_until_idle()
+        copy_read = shard.system.read()
+        carried = copy_read.value
+        # The copy read stays in the shard's own history (it is real protocol
+        # traffic and part of the epoch's atomicity check) but is internal:
+        # keep it out of the merged workload statistics.
+        self._internal_ops.add((shard.system.object_id, copy_read.op_id))
+        # Archive the retiring epoch's history, results and per-op costs.
+        epoch_key = (move.key, shard.epoch)
+        self._archived_results[epoch_key] = dict(shard.system.results)
+        self._archived_costs[epoch_key] = dict(
+            shard.system.network.costs.by_operation
+        )
+        self._retired_comm_cost += shard.system.communication_cost
+        retired = shard.retired_histories + [shard.system.history()]
+        replacement = self._build_shard(move.key, move.target,
+                                        epoch=shard.epoch + 1,
+                                        initial_value=carried)
+        replacement.retired_histories = retired
+        self._shards[move.key] = replacement
+        self._announce_shard(replacement)
+        self.stats.migrations += 1
+        return replacement
+
+
+__all__ = ["ObjectRouter", "Shard", "RouterStats"]

@@ -162,6 +162,12 @@ class L1Server(Process):
         if incoming_tag > self.committed_tag:
             self._store_value(incoming_tag, message.value)
         else:
+            # The tag is already committed here (the commit broadcast beat the
+            # put-data message).  Record it in L as (t, ⊥) metadata before
+            # acking: a quorum peer answering a later get-tag query from its
+            # list must see this tag, otherwise two writes can pick the same
+            # tag and atomicity breaks.
+            self.list_storage.setdefault(incoming_tag, None)
             self.send(writer, msg.PutDataAck(tag=incoming_tag, op_id=message.op_id))
 
     def _broadcast_resp(self, message: msg.CommitTag) -> None:
@@ -192,6 +198,10 @@ class L1Server(Process):
         whose value is present in the list.
         """
         self.committed_tag = tag
+        # Keep the committed tag in L as metadata even when its value never
+        # reached this server (commit broadcast ahead of put-data), so
+        # get-tag queries never under-report the maximum tag.
+        self.list_storage.setdefault(tag, None)
         value = self.value_for(tag)
         if value is not None:
             self._serve_registered_readers(tag, value)

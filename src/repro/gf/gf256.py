@@ -52,6 +52,23 @@ def _build_tables() -> tuple[np.ndarray, np.ndarray]:
 _EXP_TABLE, _LOG_TABLE = _build_tables()
 
 
+def _build_inverse_table() -> np.ndarray:
+    """Precompute multiplicative inverses so ``inv`` is one table lookup.
+
+    Inversion sits in the decode/repair hot path (every Gaussian-elimination
+    pivot normalisation calls it); the direct table replaces the
+    log-negate-exp sequence with a single indexed load.  Index 0 is unused
+    (zero has no inverse).
+    """
+    inverse = np.zeros(256, dtype=np.int32)
+    values = np.arange(1, 256)
+    inverse[1:] = _EXP_TABLE[255 - _LOG_TABLE[values]]
+    return inverse
+
+
+_INV_TABLE = _build_inverse_table()
+
+
 class GF256:
     """Namespace of scalar and vectorised GF(2^8) operations.
 
@@ -97,7 +114,9 @@ class GF256:
             raise ZeroDivisionError("division by zero in GF(2^8)")
         if a == 0:
             return 0
-        return int(_EXP_TABLE[(_LOG_TABLE[a] - _LOG_TABLE[b]) % 255])
+        # Offsetting by 255 keeps the index in the doubled exp table's range
+        # (1..509) without a modular reduction.
+        return int(_EXP_TABLE[_LOG_TABLE[a] - _LOG_TABLE[b] + 255])
 
     @classmethod
     def inv(cls, a: int) -> int:
@@ -108,7 +127,7 @@ class GF256:
         a = int(a)
         if a == 0:
             raise ZeroDivisionError("zero has no multiplicative inverse")
-        return int(_EXP_TABLE[255 - _LOG_TABLE[a]])
+        return int(_INV_TABLE[a])
 
     @classmethod
     def pow(cls, a: int, exponent: int) -> int:

@@ -15,17 +15,26 @@ multi-writer bursts, and multi-object write loads parameterised by theta
 
 from repro.workloads.generator import (
     ScheduledOperation,
+    UniformKeySampler,
     Workload,
     WorkloadGenerator,
+    ZipfKeySampler,
 )
-from repro.workloads.runner import WorkloadReport, WorkloadRunner
+from repro.workloads.runner import (
+    KeyedWorkloadRunner,
+    WorkloadReport,
+    WorkloadRunner,
+)
 from repro.workloads.metrics import LatencySummary, summarize_latencies
 
 __all__ = [
     "ScheduledOperation",
+    "UniformKeySampler",
+    "ZipfKeySampler",
     "Workload",
     "WorkloadGenerator",
     "WorkloadRunner",
+    "KeyedWorkloadRunner",
     "WorkloadReport",
     "LatencySummary",
     "summarize_latencies",

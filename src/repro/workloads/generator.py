@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from repro.consistency.history import READ, WRITE
 
@@ -14,13 +15,15 @@ class ScheduledOperation:
     """One operation scheduled at a virtual time on a named client.
 
     ``client_index`` selects the writer or reader within the target system
-    (writers and readers are indexed separately).
+    (writers and readers are indexed separately).  ``key`` names the target
+    object for cluster (router) workloads; single-object systems ignore it.
     """
 
     kind: str
     at: float
     client_index: int = 0
     value: Optional[bytes] = None
+    key: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (READ, WRITE):
@@ -55,6 +58,60 @@ class Workload:
 
     def __len__(self) -> int:
         return len(self.operations)
+
+
+class ZipfKeySampler:
+    """Samples keys with Zipf-distributed popularity (rank ``r`` gets weight
+    ``1 / r**s``).
+
+    Real object stores see heavily skewed access patterns; this sampler
+    drives the cluster router with them so shard hot-spotting is a
+    first-class, reproducible experiment.  Sampling is inverse-CDF over the
+    precomputed cumulative weights, so it is O(log K) per draw and fully
+    deterministic given the seed.
+    """
+
+    def __init__(self, keys: Sequence[str], s: float = 1.2,
+                 seed: Optional[int] = None) -> None:
+        if not keys:
+            raise ValueError("the sampler needs at least one key")
+        if s < 0:
+            raise ValueError("the Zipf exponent must be non-negative")
+        self.keys = list(keys)
+        self.s = s
+        self._rng = random.Random(seed)
+        self._cumulative: List[float] = []
+        total = 0.0
+        for rank in range(1, len(self.keys) + 1):
+            total += 1.0 / rank ** s
+            self._cumulative.append(total)
+        self._total = total
+
+    def sample(self) -> str:
+        """Draw one key."""
+        point = self._rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, point)
+        return self.keys[min(index, len(self.keys) - 1)]
+
+    def frequencies(self, draws: int) -> dict:
+        """Empirical key counts over ``draws`` samples (consumes randomness)."""
+        counts = {key: 0 for key in self.keys}
+        for _ in range(draws):
+            counts[self.sample()] += 1
+        return counts
+
+
+class UniformKeySampler:
+    """Samples keys uniformly (the skew-free baseline)."""
+
+    def __init__(self, keys: Sequence[str], seed: Optional[int] = None) -> None:
+        if not keys:
+            raise ValueError("the sampler needs at least one key")
+        self.keys = list(keys)
+        self._rng = random.Random(seed)
+
+    def sample(self) -> str:
+        return self._rng.choice(self.keys)
 
 
 class WorkloadGenerator:
@@ -147,6 +204,59 @@ class WorkloadGenerator:
                 workload.add(ScheduledOperation(kind=READ, at=at, client_index=client))
         return workload
 
+    def keyed_random(self, keys: Sequence[str], num_operations: int,
+                     write_fraction: float, duration: float,
+                     key_sampler: Optional[object] = None,
+                     writers_per_key: int = 1, readers_per_key: int = 1,
+                     start: float = 0.0) -> Workload:
+        """Random keyed read/write mix for a cluster router.
+
+        ``key_sampler`` is any object with a ``sample() -> str`` method
+        (:class:`ZipfKeySampler` for skew, :class:`UniformKeySampler` or
+        ``None`` for the uniform default).  Well-formedness is enforced per
+        (key, client): each shard has its own writers and readers, so two
+        operations on the same key and client are spaced by
+        ``client_spacing`` while different keys proceed fully in parallel.
+        """
+        if not 0.0 <= write_fraction <= 1.0:
+            raise ValueError("write_fraction must be within [0, 1]")
+        if key_sampler is None:
+            key_sampler = UniformKeySampler(keys, seed=self._rng.randrange(2 ** 31))
+        workload = Workload(description="random keyed read/write mix")
+        next_free: dict = {}
+        for index in range(num_operations):
+            key = key_sampler.sample()
+            at = start + self._rng.uniform(0.0, duration)
+            if self._rng.random() < write_fraction:
+                client = self._rng.randrange(writers_per_key)
+                slot = (key, WRITE, client)
+                at = max(at, next_free.get(slot, start))
+                next_free[slot] = at + self.client_spacing
+                workload.add(ScheduledOperation(kind=WRITE, at=at, client_index=client,
+                                                value=self._value(index), key=key))
+            else:
+                client = self._rng.randrange(readers_per_key)
+                slot = (key, READ, client)
+                at = max(at, next_free.get(slot, start))
+                next_free[slot] = at + self.client_spacing
+                workload.add(ScheduledOperation(kind=READ, at=at, client_index=client,
+                                                key=key))
+        return workload
+
+    def zipf_keyed(self, keys: Sequence[str], num_operations: int,
+                   write_fraction: float, duration: float, s: float = 1.2,
+                   writers_per_key: int = 1, readers_per_key: int = 1,
+                   start: float = 0.0) -> Workload:
+        """A :meth:`keyed_random` workload with Zipf-skewed key popularity."""
+        sampler = ZipfKeySampler(keys, s=s, seed=self._rng.randrange(2 ** 31))
+        workload = self.keyed_random(
+            keys, num_operations, write_fraction, duration,
+            key_sampler=sampler, writers_per_key=writers_per_key,
+            readers_per_key=readers_per_key, start=start,
+        )
+        workload.description = f"zipf(s={s}) keyed read/write mix"
+        return workload
+
     def write_heavy_with_trailing_read(self, num_writes: int, num_writers: int,
                                        burst_window: float, read_at: float) -> Workload:
         """Many concurrent writes followed by a read (delta > 0 regime)."""
@@ -162,4 +272,10 @@ class WorkloadGenerator:
         return workload
 
 
-__all__ = ["ScheduledOperation", "Workload", "WorkloadGenerator"]
+__all__ = [
+    "ScheduledOperation",
+    "UniformKeySampler",
+    "Workload",
+    "WorkloadGenerator",
+    "ZipfKeySampler",
+]

@@ -1,0 +1,158 @@
+"""RepairScheduler rate limiting, retries and redundancy restoration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.membership import ALIVE, Membership
+from repro.cluster.repair import DONE, RepairScheduler
+from repro.cluster.router import ObjectRouter
+from repro.core.config import LDSConfig
+from repro.net.latency import FixedLatencyModel
+
+POOLS = ["pool-0", "pool-1"]
+
+
+@pytest.fixture
+def config() -> LDSConfig:
+    return LDSConfig(n1=3, n2=4, f1=1, f2=1)
+
+
+def build_cluster(config, *, min_interval=5.0, max_concurrent=1,
+                  detection_delay=1.0, num_keys=16):
+    membership = Membership.for_pools(POOLS, n1=config.n1, n2=config.n2)
+    router = ObjectRouter(
+        config, membership,
+        latency_factory=lambda pool, key: FixedLatencyModel(tau0=1, tau1=1, tau2=10),
+    )
+    scheduler = RepairScheduler(
+        router, min_interval=min_interval, max_concurrent=max_concurrent,
+        detection_delay=detection_delay,
+    )
+    for i in range(num_keys):
+        router.write(f"obj-{i}", f"v{i}".encode())
+    return router, scheduler
+
+
+def test_failure_burst_is_rate_limited(config):
+    router, scheduler = build_cluster(config, min_interval=5.0, max_concurrent=1)
+    victims = router.shards_on_pool("pool-0")
+    assert len(victims) >= 3, "need several shards on pool-0 for a meaningful burst"
+    router.membership.fail("pool-0/l2-0", time=0.0)
+
+    times = scheduler.scheduled_times()
+    assert len(times) == len(victims)
+    # With one slot and min_interval=5, consecutive repairs are >= 5 apart.
+    for earlier, later in zip(times, times[1:]):
+        assert later - earlier >= 5.0 - 1e-9
+    # And nothing starts before the detection delay.
+    assert times[0] >= 1.0
+
+
+def test_concurrent_slots_raise_the_repair_rate(config):
+    router, scheduler = build_cluster(config, min_interval=5.0, max_concurrent=2)
+    victims = router.shards_on_pool("pool-0")
+    router.membership.fail("pool-0/l2-0", time=0.0)
+    times = scheduler.scheduled_times()
+    assert len(times) == len(victims)
+    # At most two repairs may start within any window shorter than 5 units.
+    for index in range(len(times) - 2):
+        assert times[index + 2] - times[index] >= 5.0 - 1e-9
+    # But strictly more than one per window actually happens (both slots used).
+    assert any(later - earlier < 5.0 for earlier, later in zip(times, times[1:]))
+
+
+def test_repair_restores_full_redundancy_in_the_background(config):
+    router, scheduler = build_cluster(config)
+    victims = router.shards_on_pool("pool-0")
+    router.membership.fail("pool-0/l2-0", time=0.0)
+    for shard in victims:
+        assert shard.system.alive_l2_count() == config.n2 - 1
+    router.run_until_idle()
+    assert scheduler.stats.repairs_completed == len(victims)
+    assert scheduler.outstanding_repairs() == 0
+    for shard in victims:
+        assert shard.system.alive_l2_count() == config.n2
+    # The scheduler reports the node healthy again once every shard is whole.
+    assert router.membership.node("pool-0/l2-0").status == ALIVE
+    # Repaired values are still readable and the execution stays atomic.
+    for shard in victims:
+        key = shard.key
+        index = int(key.split("-")[1])
+        assert router.read(key).value == f"v{index}".encode()
+    assert router.check_atomicity() is None
+
+
+def test_repair_reports_download_costs(config):
+    router, scheduler = build_cluster(config, num_keys=8)
+    victims = router.shards_on_pool("pool-0")
+    router.membership.fail("pool-0/l2-0", time=0.0)
+    router.run_until_idle()
+    reports = scheduler.reports()
+    assert len(reports) == len(victims)
+    for _key, report in reports:
+        assert report.repaired_index == 0
+        # MBR repair downloads d * beta / B of the object per rebuild.
+        assert report.download_fraction > 0
+    assert scheduler.stats.total_download_fraction == pytest.approx(
+        sum(report.download_fraction for _key, report in reports)
+    )
+
+
+def test_failure_with_no_shards_recovers_immediately(config):
+    membership = Membership.for_pools(POOLS, n1=config.n1, n2=config.n2)
+    router = ObjectRouter(config, membership)
+    RepairScheduler(router)
+    membership.fail("pool-0/l2-0", time=0.0)
+    assert membership.node("pool-0/l2-0").status == ALIVE
+
+
+def test_shard_created_on_degraded_pool_gets_repaired(config):
+    """A shard lazily created after the failure must not stay degraded."""
+    router, scheduler = build_cluster(config, num_keys=4)
+    router.membership.fail("pool-0/l2-0", time=0.0)
+    late_key = next(k for k in (f"late-{i}" for i in range(100))
+                    if router.membership.pool_for(k) == "pool-0")
+    router.write(late_key, b"late arrival")
+    router.run_until_idle()
+    shard = router.shards[late_key]
+    assert shard.system.alive_l2_count() == config.n2
+    assert router.membership.node("pool-0/l2-0").status == ALIVE
+    assert scheduler.outstanding_repairs() == 0
+    assert router.read(late_key).value == b"late arrival"
+
+
+def test_removing_a_pool_with_pending_repairs_does_not_crash(config):
+    """recover() must tolerate nodes that left while repairs were in flight."""
+    from repro.cluster.deployment import ShardedCluster
+    cluster = ShardedCluster(config, ["pool-0", "pool-1"])
+    for i in range(8):
+        cluster.write(f"obj-{i}", f"v{i}".encode())
+    victims = cluster.router.shards_on_pool("pool-0")
+    assert victims
+    cluster.fail_node("pool-0/l2-0", time=0.0)
+    # Drain the pool before the scheduled repairs ran: the drain executes
+    # them, and the last one must not try to recover a node that has left.
+    cluster.remove_pool("pool-0")
+    for i in range(8):
+        assert cluster.read(f"obj-{i}").value == f"v{i}".encode()
+    assert cluster.check_atomicity() is None
+
+
+def test_tasks_complete_even_with_inflight_offloads(config):
+    """A failure right after a burst of writes still converges via retries."""
+    membership = Membership.for_pools(POOLS, n1=config.n1, n2=config.n2)
+    router = ObjectRouter(
+        config, membership,
+        latency_factory=lambda pool, key: FixedLatencyModel(tau0=1, tau1=1, tau2=10),
+    )
+    scheduler = RepairScheduler(router, min_interval=2.0, detection_delay=0.5)
+    handles = [router.invoke_write(f"obj-{i}", bytes([i + 1]) * 4)
+               for i in range(6)]
+    router.flush()  # invoked but nothing has executed yet
+    membership.fail("pool-0/l2-1", time=0.0)
+    router.run_until_idle()
+    assert all(router.result(handle) is not None for handle in handles)
+    assert all(task.status == DONE for task in scheduler.tasks)
+    for shard in router.shards_on_pool("pool-0"):
+        assert shard.system.alive_l2_count() == config.n2

@@ -1,0 +1,110 @@
+"""HashRing determinism, balance and minimal-disruption properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import HashRing, stable_hash
+
+POOLS = ["pool-0", "pool-1", "pool-2", "pool-3"]
+KEYS_10K = [f"obj-{i}" for i in range(10_000)]
+
+
+def build_ring(names, vnodes=128):
+    ring = HashRing(vnodes=vnodes)
+    for name in names:
+        ring.add_node(name)
+    return ring
+
+
+class TestDeterminism:
+    def test_same_members_same_placement_regardless_of_insertion_order(self):
+        forward = build_ring(POOLS)
+        backward = build_ring(list(reversed(POOLS)))
+        for key in KEYS_10K[:500]:
+            assert forward.node_for(key) == backward.node_for(key)
+
+    def test_placement_is_stable_across_instances(self):
+        first = build_ring(POOLS)
+        second = build_ring(POOLS)
+        assert [first.node_for(k) for k in KEYS_10K[:200]] == \
+               [second.node_for(k) for k in KEYS_10K[:200]]
+
+    def test_stable_hash_is_process_independent(self):
+        # BLAKE2b, not the salted builtin hash(): fixed expectation values.
+        assert stable_hash("obj-0") == stable_hash("obj-0")
+        assert stable_hash("obj-0") != stable_hash("obj-1")
+
+    def test_nodes_for_returns_distinct_members(self):
+        ring = build_ring(POOLS)
+        replicas = ring.nodes_for("obj-42", 3)
+        assert len(replicas) == 3
+        assert len(set(replicas)) == 3
+        assert replicas[0] == ring.node_for("obj-42")
+
+
+class TestBalance:
+    def test_stddev_of_shard_sizes_under_10k_keys(self):
+        ring = build_ring(POOLS)
+        balance = ring.balance(KEYS_10K)
+        assert balance.mean == pytest.approx(2500.0)
+        # Virtual nodes keep the spread tight: stddev well under 15% of mean.
+        assert balance.coefficient_of_variation < 0.15
+        assert all(count > 0 for count in balance.counts.values())
+
+    def test_more_vnodes_tighten_the_spread(self):
+        coarse = build_ring(POOLS, vnodes=8)
+        fine = build_ring(POOLS, vnodes=256)
+        assert (fine.balance(KEYS_10K).coefficient_of_variation
+                <= coarse.balance(KEYS_10K).coefficient_of_variation)
+
+    def test_weighted_node_attracts_proportional_share(self):
+        ring = HashRing(vnodes=128)
+        ring.add_node("small", weight=1.0)
+        ring.add_node("big", weight=3.0)
+        counts = ring.key_counts(KEYS_10K)
+        assert counts["big"] > 2 * counts["small"]
+
+
+class TestMinimalDisruption:
+    def test_removal_only_remaps_keys_of_the_removed_node(self):
+        ring = build_ring(POOLS)
+        before = {key: ring.node_for(key) for key in KEYS_10K[:2000]}
+        ring.remove_node("pool-2")
+        for key, owner in before.items():
+            if owner != "pool-2":
+                assert ring.node_for(key) == owner
+
+    def test_addition_moves_roughly_one_over_n_of_the_keys(self):
+        ring = build_ring(POOLS)
+        before = {key: ring.node_for(key) for key in KEYS_10K}
+        ring.add_node("pool-4")
+        moved = sum(1 for key, owner in before.items()
+                    if ring.node_for(key) != owner)
+        # Expected move fraction is 1/5; allow generous slack.
+        assert 0.10 < moved / len(KEYS_10K) < 0.30
+
+
+class TestEdgeCases:
+    def test_empty_ring_raises(self):
+        ring = HashRing()
+        with pytest.raises(LookupError):
+            ring.node_for("obj-0")
+
+    def test_unknown_member_removal_raises(self):
+        ring = build_ring(POOLS)
+        with pytest.raises(KeyError):
+            ring.remove_node("nope")
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+        ring = HashRing()
+        with pytest.raises(ValueError):
+            ring.add_node("pool-0", weight=0.0)
+
+    def test_membership_queries(self):
+        ring = build_ring(POOLS)
+        assert "pool-0" in ring
+        assert len(ring) == 4
+        assert ring.nodes == sorted(POOLS)

@@ -1,0 +1,93 @@
+"""Event-pump benchmark: global kernel vs the legacy per-shard idle loop.
+
+Drives the same seeded Zipf keyed workload through both execution backends
+and reports wall-clock time, simulated events per second, and the kernel's
+cross-shard interleaving rate.  The legacy loop runs each shard's queue to
+quiescence in turn (no cross-shard timing, but perfect batch locality);
+the global kernel merges every queue onto one clock, paying one O(#sources)
+scan per event for genuine interleaving.  The benchmark quantifies that
+fidelity-for-throughput trade so experiment authors can pick a backend
+deliberately.
+
+There is no paper analogue; this characterises the simulation engine itself.
+"""
+
+from __future__ import annotations
+
+import time
+
+from bench_utils import emit_table
+
+from repro import (
+    ClusterSimulation,
+    KeyedWorkloadRunner,
+    LDSConfig,
+    ShardedCluster,
+    WorkloadGenerator,
+)
+
+NUM_KEYS = 32
+DURATION = 400.0
+SEED = 23
+POOLS = [f"pool-{i}" for i in range(3)]
+
+
+def _workload(num_operations: int):
+    generator = WorkloadGenerator(seed=SEED, client_spacing=60.0)
+    return generator.zipf_keyed(
+        [f"obj-{i}" for i in range(NUM_KEYS)],
+        num_operations, write_fraction=0.4, duration=DURATION, s=1.2,
+    )
+
+
+def _run_legacy(num_operations: int):
+    config = LDSConfig(n1=3, n2=4, f1=1, f2=1)
+    cluster = ShardedCluster(config, POOLS, seed=SEED)
+    started = time.perf_counter()
+    report = KeyedWorkloadRunner(cluster.router).run(_workload(num_operations))
+    wall = time.perf_counter() - started
+    events = sum(shard.system.simulator.events_processed
+                 for shard in cluster.router.shards.values())
+    assert report.is_atomic
+    return {"wall": wall, "events": events, "switch_rate": 0.0,
+            "mean_batch": cluster.router_stats.mean_batch_size}
+
+
+def _run_kernel(num_operations: int):
+    config = LDSConfig(n1=3, n2=4, f1=1, f2=1)
+    simulation = ClusterSimulation(config, POOLS, seed=SEED)
+    started = time.perf_counter()
+    report = KeyedWorkloadRunner(simulation).run(_workload(num_operations))
+    wall = time.perf_counter() - started
+    assert report.is_atomic
+    return {"wall": wall, "events": simulation.kernel.events_processed,
+            "switch_rate": simulation.interleaving.switch_rate,
+            "mean_batch": simulation.router.stats.mean_batch_size}
+
+
+def test_bench_event_pump():
+    rows = []
+    for num_operations in (96, 192, 384):
+        legacy = _run_legacy(num_operations)
+        kernel = _run_kernel(num_operations)
+        for backend, run in (("legacy-loop", legacy), ("global-kernel", kernel)):
+            rows.append((
+                num_operations,
+                backend,
+                f"{run['wall'] * 1e3:.1f}",
+                run["events"],
+                f"{run['events'] / run['wall']:,.0f}",
+                f"{run['switch_rate']:.2f}",
+                f"{run['mean_batch']:.1f}",
+            ))
+        slowdown = kernel["wall"] / legacy["wall"]
+        rows.append((num_operations, "kernel/legacy wall",
+                     f"{slowdown:.2f}x", "", "", "", ""))
+
+    emit_table(
+        "event_pump",
+        "global kernel vs legacy per-shard idle loop",
+        ["ops", "backend", "wall ms", "sim events", "events/s",
+         "switch rate", "mean batch"],
+        rows,
+    )

@@ -17,7 +17,11 @@ with every substrate it depends on:
 * ``repro.workloads`` -- workload generation and measurement;
 * ``repro.cluster`` -- the scale-out layer: consistent-hash placement of
   object shards onto server pools, a keyed object router fanning out to
-  per-shard LDS instances, and rate-limited background repair.
+  per-shard LDS instances, and rate-limited background repair;
+* ``repro.sim`` -- the global-clock simulation kernel: one merged event
+  pump over every per-shard simulator, a declarative scenario engine, and
+  the :class:`ClusterSimulation` harness for cross-shard timing
+  experiments.
 
 Quickstart::
 
@@ -66,8 +70,15 @@ from repro.cluster import (
     RepairScheduler,
     ShardedCluster,
 )
+from repro.sim import (
+    ClusterSimulation,
+    GlobalScheduler,
+    Scenario,
+    ScenarioAction,
+    ScenarioEngine,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "LDSConfig",
@@ -102,5 +113,10 @@ __all__ = [
     "RebalancePlan",
     "RepairScheduler",
     "ShardedCluster",
+    "GlobalScheduler",
+    "ClusterSimulation",
+    "Scenario",
+    "ScenarioAction",
+    "ScenarioEngine",
     "__version__",
 ]

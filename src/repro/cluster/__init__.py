@@ -20,7 +20,7 @@ serve millions of objects:
   wiring all of the above together.
 """
 
-from repro.cluster.ring import HashRing, RingBalance, stable_hash
+from repro.cluster.ring import HashRing, RingBalance, derive_seed, stable_hash
 from repro.cluster.placement import (
     RebalancePlan,
     ShardMove,
@@ -39,6 +39,7 @@ from repro.cluster.deployment import ShardedCluster
 __all__ = [
     "HashRing",
     "RingBalance",
+    "derive_seed",
     "stable_hash",
     "RebalancePlan",
     "ShardMove",

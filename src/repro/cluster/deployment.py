@@ -17,11 +17,32 @@ from typing import Callable, Dict, List, Optional, Union
 from repro.cluster.membership import ClusterNode, Membership, MembershipEvent
 from repro.cluster.placement import RebalancePlan
 from repro.cluster.repair import RepairScheduler
+from repro.cluster.ring import derive_seed
 from repro.cluster.router import ObjectRouter, RouterStats
 from repro.consistency.linearizability import AtomicityViolation
 from repro.core.config import LDSConfig
 from repro.core.results import OperationResult
-from repro.net.latency import LatencyModel
+from repro.net.latency import BoundedLatencyModel, LatencyModel, ScaledLatencyModel
+
+
+def seeded_latency_factory(seed, regime=None) -> Callable[[str, str], LatencyModel]:
+    """The canonical seeded per-shard latency factory.
+
+    Every (pool, key) pair gets a :class:`BoundedLatencyModel` whose seed
+    derives from the root seed, so one root seed fixes every latency draw
+    in the cluster.  With a :class:`~repro.net.latency.LatencyRegime`, each
+    model is wrapped so scenario scripts can shift the whole cluster's
+    latency at once.  Shared by :class:`ShardedCluster` and
+    :class:`~repro.sim.harness.ClusterSimulation` so the derivation scheme
+    cannot drift between entry points.
+    """
+    def factory(pool: str, key: str) -> LatencyModel:
+        base = BoundedLatencyModel(seed=derive_seed(seed, "latency", pool, key))
+        if regime is None:
+            return base
+        return ScaledLatencyModel(base, regime)
+
+    return factory
 
 
 class ShardedCluster:
@@ -33,12 +54,20 @@ class ShardedCluster:
                  latency_factory: Optional[Callable[[str, str], LatencyModel]] = None,
                  repair_min_interval: float = 5.0,
                  repair_max_concurrent: int = 1,
-                 repair_detection_delay: float = 1.0) -> None:
+                 repair_detection_delay: float = 1.0,
+                 repair_slot_jitter: float = 0.0,
+                 seed: Optional[int] = None) -> None:
         if not pool_names:
             raise ValueError("a cluster needs at least one pool")
         self.config = config
+        #: Root RNG seed.  Every stochastic component (per-shard latency
+        #: models, repair jitter) derives its own seed from it, so one seed
+        #: fixes the entire global event order.
+        self.seed = seed
         self.membership = Membership.for_pools(pool_names, n1=config.n1,
                                                n2=config.n2, vnodes=vnodes)
+        if latency_factory is None and seed is not None:
+            latency_factory = seeded_latency_factory(seed)
         self.router = ObjectRouter(
             config, self.membership,
             writers_per_shard=writers_per_shard,
@@ -50,7 +79,20 @@ class ShardedCluster:
             min_interval=repair_min_interval,
             max_concurrent=repair_max_concurrent,
             detection_delay=repair_detection_delay,
+            slot_jitter=repair_slot_jitter,
+            seed=None if seed is None else derive_seed(seed, "repair"),
         )
+
+    # -- global kernel -----------------------------------------------------------
+
+    @property
+    def kernel(self):
+        """The attached :class:`~repro.sim.kernel.GlobalScheduler` (or None)."""
+        return self.router.kernel
+
+    def attach_kernel(self, kernel) -> None:
+        """Drive the whole cluster from one global clock (see ObjectRouter)."""
+        self.router.attach_kernel(kernel)
 
     # -- driving ------------------------------------------------------------------
 
@@ -68,6 +110,17 @@ class ShardedCluster:
     def invoke_read(self, key: str, reader: Union[int, str] = 0,
                     at: Optional[float] = None) -> str:
         return self.router.invoke_read(key, reader=reader, at=at)
+
+    def flush_key(self, key: str) -> int:
+        return self.router.flush_key(key)
+
+    def check_workload_clients(self, workload) -> None:
+        self.router.check_workload_clients(workload)
+
+    def add_workload(self, workload, start: float = 0.0, on_handle=None) -> int:
+        """Kernel mode only: schedule the workload as arrival events."""
+        return self.router.add_workload(workload, start=start,
+                                        on_handle=on_handle)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         self.router.run_until_idle(max_events=max_events)
@@ -99,9 +152,9 @@ class ShardedCluster:
         """Per-object (per-epoch) atomicity over everything recorded so far."""
         return self.router.check_atomicity()
 
-    def history(self):
+    def history(self, global_clock: bool = False):
         """The merged (id-qualified) history across all shards and epochs."""
-        return self.router.history()
+        return self.router.history(global_clock=global_clock)
 
     def operation_cost(self, handle: str) -> float:
         return self.router.operation_cost(handle)

@@ -25,6 +25,7 @@ crashes natively and L1 state is temporary by design.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -50,6 +51,7 @@ class RepairTask:
     #: Earliest virtual time the repair may start (failure time + detection).
     ready_at: float
     scheduled_at: Optional[float] = None
+    completed_at: Optional[float] = None
     attempts: int = 0
     status: str = QUEUED
     report: Optional[L2RepairReport] = None
@@ -73,9 +75,10 @@ class RepairScheduler:
     def __init__(self, router: ObjectRouter, *,
                  min_interval: float = 5.0, max_concurrent: int = 1,
                  detection_delay: float = 1.0, retry_interval: Optional[float] = None,
-                 max_attempts: int = 8,
+                 max_attempts: int = 8, slot_jitter: float = 0.0,
+                 seed: Optional[int] = None,
                  membership: Optional[Membership] = None) -> None:
-        if min_interval < 0 or detection_delay < 0:
+        if min_interval < 0 or detection_delay < 0 or slot_jitter < 0:
             raise ValueError("intervals must be non-negative")
         if max_concurrent < 1:
             raise ValueError("at least one concurrent repair slot is required")
@@ -87,6 +90,13 @@ class RepairScheduler:
         self.detection_delay = detection_delay
         self.retry_interval = min_interval if retry_interval is None else retry_interval
         self.max_attempts = max_attempts
+        #: Random extra delay in [0, slot_jitter) added to every assigned
+        #: start time, de-synchronising repair waves from periodic
+        #: foreground load.  Pass a seed to keep the global event order a
+        #: pure function of it; with ``seed=None`` the jitter is genuinely
+        #: random and runs are not reproducible.
+        self.slot_jitter = slot_jitter
+        self._rng = random.Random(seed)
         #: Next-free time of each rate-limiter slot (shared virtual timeline).
         self._slots: List[float] = [0.0] * max_concurrent
         self.tasks: List[RepairTask] = []
@@ -136,7 +146,7 @@ class RepairScheduler:
                 continue
             task = RepairTask(
                 key=shard.key, node_id=node.node_id, l2_index=node.index,
-                ready_at=shard.system.simulator.now + self.detection_delay,
+                ready_at=self.router.shard_now(shard) + self.detection_delay,
             )
             self.tasks.append(task)
             self.stats.tasks_created += 1
@@ -151,6 +161,8 @@ class RepairScheduler:
         """Assign the earliest rate-limiter slot at or after ``ready_at``."""
         slot_index = min(range(len(self._slots)), key=lambda i: self._slots[i])
         start = max(task.ready_at, self._slots[slot_index])
+        if self.slot_jitter > 0:
+            start += self._rng.uniform(0.0, self.slot_jitter)
         self._slots[slot_index] = start + self.min_interval
         task.scheduled_at = start
         task.status = SCHEDULED
@@ -159,9 +171,7 @@ class RepairScheduler:
             task.status = GAVE_UP
             self._task_finished(task)
             return
-        simulator = shard.system.simulator
-        at = max(start, simulator.now)
-        simulator.schedule_at(at, lambda: self._execute(task))
+        self.router.schedule_on_shard(shard, start, lambda: self._execute(task))
 
     # -- execution -------------------------------------------------------------------
 
@@ -176,6 +186,7 @@ class RepairScheduler:
             # Already whole (e.g. the shard migrated to a fresh epoch and
             # back, or a concurrent repair beat us to it): nothing to do.
             task.status = DONE
+            task.completed_at = self.router.shard_now(shard)
             self.stats.repairs_skipped += 1
             self._task_finished(task)
             return
@@ -192,11 +203,12 @@ class RepairScheduler:
             # Not repairable yet (e.g. offloads still in flight): go back
             # through the rate limiter after a back-off.
             self.stats.retries += 1
-            task.ready_at = shard.system.simulator.now + self.retry_interval
+            task.ready_at = self.router.shard_now(shard) + self.retry_interval
             self._dispatch(task)
             return
         task.status = DONE
         task.report = report
+        task.completed_at = self.router.shard_now(shard)
         self.stats.repairs_completed += 1
         self.stats.total_download_fraction += report.download_fraction
         self._task_finished(task)
@@ -214,7 +226,8 @@ class RepairScheduler:
         # some repair permanently failed.
         if all(t.status == DONE for t in self.tasks if t.node_id == task.node_id):
             shard = self.router.shards.get(task.key)
-            now = shard.system.simulator.now if shard is not None else task.ready_at
+            now = (self.router.shard_now(shard) if shard is not None
+                   else task.ready_at)
             self._recover_if_failed(task.node_id, now)
 
     def _recover_if_failed(self, node_id: str, time: float) -> None:

@@ -29,6 +29,18 @@ def stable_hash(text: str) -> int:
     return int.from_bytes(digest, "big")
 
 
+def derive_seed(root: object, *parts: object) -> int:
+    """A child RNG seed deterministically derived from a root seed.
+
+    All cluster components (per-shard latency models, the repair
+    scheduler's jitter, workload samplers) draw their seeds through this
+    function so one root seed reproduces one identical global event order.
+    The derivation is position-sensitive and stable across processes.
+    """
+    text = "\x1f".join(str(part) for part in (root, *parts))
+    return stable_hash(text) & 0x7FFFFFFF
+
+
 class HashRing:
     """A consistent-hash ring mapping string keys to named nodes (pools)."""
 

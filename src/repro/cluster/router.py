@@ -15,6 +15,21 @@ shard and injected into its simulator in one pass per flush, so a workload
 touching thousands of keys performs one dispatch walk per shard instead of
 one per operation.  ``run_until_idle`` flushes automatically.
 
+Two execution backends drive the shards:
+
+* **legacy (default)** -- ``run_until_idle`` flushes every batch and runs
+  each shard's simulator to quiescence sequentially; shard clocks are
+  independent and cross-shard timing is not modelled;
+* **global kernel** -- after :meth:`ObjectRouter.attach_kernel`, every
+  shard simulator is registered as an event source of a
+  :class:`~repro.sim.kernel.GlobalScheduler` and ``run_until_idle``
+  delegates to the kernel's merged event pump, so operations, repairs and
+  migrations on different shards interleave on one monotonic global
+  clock.  Each shard's registration offset maps its local clock onto the
+  global one; :meth:`shard_now` / :meth:`schedule_on_shard` let
+  cluster-level components (the repair scheduler, scenario engines) speak
+  global time without knowing the mapping.
+
 Failures and rebalancing:
 
 * when the membership reports a node **failure**, the router crashes the
@@ -90,6 +105,8 @@ class RouterStats:
     operations_flushed: int = 0
     largest_batch: int = 0
     migrations: int = 0
+    #: Operations injected through kernel arrival events (kernel mode only).
+    arrivals: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -138,7 +155,82 @@ class ObjectRouter:
         #: scheduler uses this to cover shards born on degraded pools).
         self.shard_created_hooks: List[Callable[[Shard], None]] = []
         self.stats = RouterStats()
+        #: Global simulation kernel, or None for the legacy per-shard loop.
+        self._kernel = None
+        #: object_id -> global-clock offset of its simulator (kept for
+        #: retired epochs so their histories can still be mapped).
+        self._kernel_offsets: Dict[str, float] = {}
+        #: (time, key, source_pool, target_pool) per migration.  The time
+        #: is global under the kernel; in legacy mode it is the retiring
+        #: shard's *local* drain time (legacy shard clocks are mutually
+        #: incomparable, so do not sort the log across shards there).
+        self.migration_log: List[tuple] = []
         membership.subscribe(self._on_membership_event)
+
+    # -- global kernel ---------------------------------------------------------
+
+    @property
+    def kernel(self):
+        """The attached :class:`~repro.sim.kernel.GlobalScheduler` (or None)."""
+        return self._kernel
+
+    def attach_kernel(self, kernel) -> None:
+        """Multiplex every shard (existing and future) onto a global clock.
+
+        After attachment, :meth:`run_until_idle` pumps the kernel's merged
+        event queue instead of looping shards to idle.  Detaching is not
+        supported: the offsets woven into shard histories assume the global
+        timeline stays in force.
+
+        Attaching mid-flight anchors each live shard's *current* local time
+        to the current global time, so pre-attach operations map to global
+        times at or below the attach instant.  Epochs retired before the
+        attach are stacked backwards behind their successor's start (each
+        legacy epoch restarts its clock at 0, so only their real-time
+        *order* is recoverable, which is exactly what the drain barrier
+        guaranteed).
+        """
+        if self._kernel is not None:
+            raise RuntimeError("a global kernel is already attached")
+        self._kernel = kernel
+        for key in sorted(self._shards):
+            shard = self._shards[key]
+            self._register_shard_source(shard)
+            base = self._kernel_offsets[shard.object_id]
+            for epoch in range(shard.epoch - 1, -1, -1):
+                history = shard.retired_histories[epoch]
+                end = max((op.responded_at if op.responded_at is not None
+                           else op.invoked_at for op in history), default=0.0)
+                base -= end
+                self._kernel_offsets[_object_id(key, epoch)] = base
+
+    def _register_shard_source(self, shard: Shard,
+                               offset: Optional[float] = None) -> None:
+        source = self._kernel.register_simulator(
+            shard.system.simulator, name=f"shard:{shard.object_id}",
+            offset=offset,
+        )
+        self._kernel_offsets[shard.object_id] = source.offset
+        # Workload times are global under the kernel; seed the shard's
+        # nominal->local mapping with the registration offset so a batch
+        # scheduled at global t lands at local t - offset.
+        shard.time_shift = -source.offset
+
+    def _offset(self, shard: Shard) -> float:
+        if self._kernel is None:
+            return 0.0
+        return self._kernel_offsets.get(shard.object_id, 0.0)
+
+    def shard_now(self, shard: Shard) -> float:
+        """The shard's clock on the global timeline (local time in legacy mode)."""
+        return shard.system.simulator.now + self._offset(shard)
+
+    def schedule_on_shard(self, shard: Shard, at: float, callback) -> None:
+        """Schedule a callback on a shard at global time ``at`` (clamped to
+        the shard's clock when ``at`` already passed)."""
+        simulator = shard.system.simulator
+        local = max(at - self._offset(shard), simulator.now)
+        simulator.schedule_at(local, callback)
 
     # -- shard management -----------------------------------------------------
 
@@ -155,6 +247,8 @@ class ObjectRouter:
         shard = self._build_shard(key, pool, epoch=0,
                                   initial_value=self.config.initial_value)
         self._shards[key] = shard
+        if self._kernel is not None:
+            self._register_shard_source(shard)
         self._announce_shard(shard)
         return shard
 
@@ -216,6 +310,26 @@ class ObjectRouter:
         self._handles[handle] = [key, epoch, None]
         return handle
 
+    def check_workload_clients(self, workload) -> None:
+        """Reject a workload addressing more per-shard clients than exist.
+
+        Catching this up front turns a bare ``IndexError`` at flush (or,
+        under the kernel, at an arbitrary virtual arrival time) into an
+        immediate, named error.  Duck-typed over anything iterable with
+        ``operations`` carrying ``kind`` / ``client_index``.
+        """
+        for operation in workload.operations:
+            limit = (self.writers_per_shard if operation.kind == WRITE
+                     else self.readers_per_shard)
+            if operation.client_index >= limit:
+                kind = "writers" if operation.kind == WRITE else "readers"
+                raise ValueError(
+                    f"workload {workload.description!r} uses {operation.kind} "
+                    f"client index {operation.client_index}, but each shard "
+                    f"has only {limit} {kind}; raise writers_per_shard/"
+                    f"readers_per_shard"
+                )
+
     def invoke_write(self, key: str, value: bytes, writer: Union[int, str] = 0,
                      at: Optional[float] = None) -> str:
         """Queue a write on ``key``'s shard; returns an operation handle."""
@@ -233,6 +347,63 @@ class ObjectRouter:
         shard.pending.append(_PendingOp(handle=handle, kind=READ, client=reader,
                                         at=at))
         return handle
+
+    # -- workload arrivals (kernel mode) ---------------------------------------------
+
+    def add_workload(self, workload, start: float = 0.0,
+                     on_handle=None) -> int:
+        """Schedule a keyed workload's operations as kernel arrival events.
+
+        This is the single implementation of arrival semantics, shared by
+        :class:`~repro.sim.harness.ClusterSimulation` and the keyed
+        workload runner.  Each operation is injected into its shard --
+        creating the shard at that instant if the key is new -- when the
+        global clock reaches ``start + operation.at``.  A window that
+        already passed is shifted forward *uniformly* (preserving relative
+        spacing, hence per-client well-formedness, exactly like the legacy
+        batch ratchet).  ``on_handle(kind, handle)`` is invoked for every
+        injected operation so callers can collect handles for cost
+        reporting.  Returns the number of arrivals scheduled.
+        """
+        if self._kernel is None:
+            raise RuntimeError(
+                "add_workload schedules kernel arrival events; attach a "
+                "GlobalScheduler first (or use KeyedWorkloadRunner's legacy "
+                "batch path)"
+            )
+        self.check_workload_clients(workload)
+        operations = workload.sorted_operations()
+        # Validate before scheduling anything so a bad workload is
+        # all-or-nothing instead of leaving stranded arrival events.
+        for operation in operations:
+            if operation.key is None:
+                raise ValueError(
+                    "the global kernel routes by key; every operation of the "
+                    "workload must carry one"
+                )
+        if operations:
+            start = max(start, self._kernel.now - operations[0].at)
+        for operation in operations:
+            # max() guards against floating-point rounding pushing the
+            # earliest shifted arrival epsilon below the global clock.
+            at = max(start + operation.at, self._kernel.now)
+            self._kernel.schedule_at(
+                at, lambda operation=operation, at=at:
+                    self._arrive(operation, at, on_handle)
+            )
+        return len(operations)
+
+    def _arrive(self, operation, at: float, on_handle=None) -> None:
+        if operation.kind == WRITE:
+            handle = self.invoke_write(operation.key, operation.value or b"",
+                                       writer=operation.client_index, at=at)
+        else:
+            handle = self.invoke_read(operation.key,
+                                      reader=operation.client_index, at=at)
+        self.flush_key(operation.key)
+        self.stats.arrivals += 1
+        if on_handle is not None:
+            on_handle(operation.kind, handle)
 
     # -- batching / execution ---------------------------------------------------------
 
@@ -271,9 +442,22 @@ class ObjectRouter:
         """Flush every shard's pending batch; returns operations injected."""
         return sum(self._flush_shard(shard) for shard in self._shards.values())
 
+    def flush_key(self, key: str) -> int:
+        """Flush one key's pending batch (used by kernel arrival events)."""
+        shard = self._shards.get(key)
+        return 0 if shard is None else self._flush_shard(shard)
+
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
-        """Flush all batches, then run every shard's simulator to quiescence."""
+        """Flush all batches, then run to quiescence.
+
+        With a kernel attached this pumps the merged global event queue
+        (cross-shard interleaving); otherwise it is the legacy loop running
+        each shard's simulator to idle in turn.
+        """
         self.flush()
+        if self._kernel is not None:
+            self._kernel.run_until_idle(max_events=max_events)
+            return
         for shard in self._shards.values():
             shard.system.run_until_idle(max_events=max_events)
 
@@ -295,7 +479,22 @@ class ObjectRouter:
         shard = self._shards[key]
         self._flush_shard(shard)
         op_id = self._handles[handle][2]
-        return shard.system.run_until_complete(op_id)
+        if self._kernel is None:
+            return shard.system.run_until_complete(op_id)
+        # Under the kernel, other shards' events must keep flowing while we
+        # wait, so pump the merged queue instead of this shard alone.
+        executed = 0
+        while op_id not in shard.system.results:
+            if not self._kernel.step():
+                raise RuntimeError(
+                    f"operation {op_id} did not complete (global queue empty)"
+                )
+            executed += 1
+            if executed > 10_000_000:
+                raise RuntimeError(
+                    f"operation {op_id} did not complete within the event budget"
+                )
+        return shard.system.results[op_id]
 
     # -- results and costs ---------------------------------------------------------------
 
@@ -336,7 +535,7 @@ class ObjectRouter:
 
     # -- histories and atomicity -----------------------------------------------------------
 
-    def history(self) -> History:
+    def history(self, global_clock: bool = False) -> History:
         """All operations across all shards and epochs, in one merged history.
 
         Operation and client ids are qualified with the epoch's object id so
@@ -345,16 +544,30 @@ class ObjectRouter:
         for latency / throughput summaries; atomicity is checked per epoch
         by :meth:`check_atomicity` because each migration epoch has its own
         initial value.
+
+        With ``global_clock`` (kernel mode only), every timestamp is shifted
+        by its epoch's registration offset so operations from different
+        shards become comparable on the one global timeline.
         """
+        if global_clock and self._kernel is None:
+            raise RuntimeError(
+                "global-clock histories need an attached kernel; legacy "
+                "shard clocks are mutually incomparable"
+            )
         merged = History(initial_value=self.config.initial_value)
         for history in self._all_histories():
             for op in history.operations:
                 if (op.object_id, op.op_id) in self._internal_ops:
                     continue
+                shift = (self._kernel_offsets.get(op.object_id, 0.0)
+                         if global_clock else 0.0)
                 merged.add(dc_replace(
                     op,
                     op_id=f"{op.object_id}/{op.op_id}",
                     client_id=f"{op.object_id}/{op.client_id}",
+                    invoked_at=op.invoked_at + shift,
+                    responded_at=(None if op.responded_at is None
+                                  else op.responded_at + shift),
                 ))
         return merged
 
@@ -392,9 +605,17 @@ class ObjectRouter:
 
     def _crash_slot(self, shard: Shard, role: str, index: int,
                     at: Optional[float] = None) -> None:
-        """Crash one server slot of a shard, clamping ``at`` to the shard clock."""
+        """Crash one server slot of a shard, clamping ``at`` to the shard clock.
+
+        ``at`` is a global time under the kernel (membership events carry
+        global timestamps there) and a shard-local time in legacy mode.
+        """
         simulator = shard.system.simulator
-        when = None if at is None or at <= simulator.now else at
+        when = None
+        if at is not None:
+            local = at - self._offset(shard)
+            if local > simulator.now:
+                when = local
         if role == L1_ROLE:
             if index < self.config.n1:
                 shard.system.crash_l1(index, at=when)
@@ -448,13 +669,39 @@ class ObjectRouter:
         )
         self._retired_comm_cost += shard.system.communication_cost
         retired = shard.retired_histories + [shard.system.history()]
+        drained_at = self.shard_now(shard)
+        if self._kernel is not None:
+            # The new epoch starts at the migration instant or at the
+            # retiring epoch's last foreground activity, whichever is
+            # later.  Neither a lagging shard clock (long idle) nor a
+            # fast-forwarded one (the inline drain executes any future
+            # callbacks, e.g. rate-limited repairs, against the retiring
+            # epoch) may drag the epoch boundary off the global timeline.
+            # Internal operations (the migration's own copy read, which
+            # runs after the drain and inherits its inflated clock) do not
+            # anchor the boundary; they are invisible in merged histories.
+            history_end = max(
+                (op.responded_at if op.responded_at is not None
+                 else op.invoked_at for op in retired[-1]
+                 if (op.object_id, op.op_id) not in self._internal_ops),
+                default=0.0,
+            )
+            drained_at = max(self._kernel.now,
+                             self._offset(shard) + history_end)
+            self._kernel.unregister(f"shard:{shard.object_id}")
         replacement = self._build_shard(move.key, move.target,
                                         epoch=shard.epoch + 1,
                                         initial_value=carried)
         replacement.retired_histories = retired
         self._shards[move.key] = replacement
+        if self._kernel is not None:
+            # The new epoch's local time 0 is the instant the old epoch
+            # drained, preserving real-time order between epochs on the
+            # global timeline.
+            self._register_shard_source(replacement, offset=drained_at)
         self._announce_shard(replacement)
         self.stats.migrations += 1
+        self.migration_log.append((drained_at, move.key, move.source, move.target))
         return replacement
 
 

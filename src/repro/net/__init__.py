@@ -25,6 +25,8 @@ from repro.net.latency import (
     ExponentialLatencyModel,
     FixedLatencyModel,
     LatencyModel,
+    LatencyRegime,
+    ScaledLatencyModel,
     UniformLatencyModel,
 )
 from repro.net.process import Process
@@ -36,8 +38,10 @@ __all__ = [
     "Simulator",
     "Message",
     "LatencyModel",
+    "LatencyRegime",
     "FixedLatencyModel",
     "BoundedLatencyModel",
+    "ScaledLatencyModel",
     "UniformLatencyModel",
     "ExponentialLatencyModel",
     "Process",

@@ -112,6 +112,39 @@ class UniformLatencyModel(LatencyModel):
         return self.high
 
 
+class LatencyRegime:
+    """A mutable delay multiplier shared by many :class:`ScaledLatencyModel`.
+
+    Scenario scripts shift a whole cluster between latency regimes (e.g. a
+    flash crowd saturating the network) by changing one ``scale`` value;
+    every model wrapping the regime picks the new factor up on the next
+    message, with no per-shard rewiring.
+    """
+
+    def __init__(self, scale: float = 1.0) -> None:
+        self.set(scale)
+
+    def set(self, scale: float) -> None:
+        if scale <= 0:
+            raise ValueError("the latency scale must be positive")
+        self.scale = float(scale)
+
+
+class ScaledLatencyModel(LatencyModel):
+    """Multiplies a base model's delays (and bounds) by a regime's scale."""
+
+    def __init__(self, base: LatencyModel, regime: Optional[LatencyRegime] = None) -> None:
+        self.base = base
+        self.regime = regime if regime is not None else LatencyRegime()
+
+    def delay(self, sender_class: str, receiver_class: str) -> float:
+        return self.base.delay(sender_class, receiver_class) * self.regime.scale
+
+    def bound(self, sender_class: str, receiver_class: str) -> Optional[float]:
+        base_bound = self.base.bound(sender_class, receiver_class)
+        return None if base_bound is None else base_bound * self.regime.scale
+
+
 class ExponentialLatencyModel(LatencyModel):
     """Exponentially distributed delays (unbounded -- pure asynchrony).
 
@@ -140,8 +173,10 @@ __all__ = [
     "L2",
     "link_type",
     "LatencyModel",
+    "LatencyRegime",
     "FixedLatencyModel",
     "BoundedLatencyModel",
+    "ScaledLatencyModel",
     "UniformLatencyModel",
     "ExponentialLatencyModel",
 ]

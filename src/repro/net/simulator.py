@@ -81,6 +81,19 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return EventHandle(event)
 
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next pending event, or None when idle.
+
+        Cancelled events at the head of the queue are discarded as a side
+        effect, so the returned time is the one :meth:`step` would run at.
+        This is what lets an external multiplexer (the global simulation
+        kernel in :mod:`repro.sim.kernel`) merge many simulators onto one
+        clock without executing anything.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
     def step(self) -> bool:
         """Run the next pending event.  Returns False when the queue is empty."""
         while self._queue:

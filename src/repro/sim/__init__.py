@@ -1,0 +1,53 @@
+"""The global-clock simulation subsystem.
+
+The cluster layer federates many per-shard discrete-event simulators; this
+package merges them onto **one monotonic global clock** so cross-shard
+timing phenomena -- repair slots competing with foreground load, migrations
+overlapping writes, correlated failures, latency-regime shifts -- are
+actually simulated instead of serialised away:
+
+* :mod:`repro.sim.kernel` -- :class:`GlobalScheduler`, the unified event
+  pump multiplexing per-shard simulators (plus its own kernel queue for
+  scenario actions and workload arrivals) with deterministic merged
+  ordering under a fixed seed;
+* :mod:`repro.sim.scenario` -- declarative timed scripts
+  (:class:`Scenario` / :class:`ScenarioEngine`) of crash/recover, pool
+  join/leave, latency-regime shifts and workload phases, with four shipped
+  scenarios;
+* :mod:`repro.sim.harness` -- :class:`ClusterSimulation`, the facade
+  wiring a seeded :class:`~repro.cluster.deployment.ShardedCluster` to the
+  kernel and exposing workload arrival scheduling, scenario application
+  and the merged global timeline.
+"""
+
+from repro.sim.kernel import (
+    GlobalScheduler,
+    KernelStats,
+    SimulatorSource,
+    KERNEL_SOURCE,
+)
+from repro.sim.scenario import (
+    Scenario,
+    ScenarioAction,
+    ScenarioEngine,
+    correlated_pool_failure,
+    flash_crowd,
+    migration_under_load,
+    repair_under_load,
+)
+from repro.sim.harness import ClusterSimulation
+
+__all__ = [
+    "GlobalScheduler",
+    "KernelStats",
+    "SimulatorSource",
+    "KERNEL_SOURCE",
+    "Scenario",
+    "ScenarioAction",
+    "ScenarioEngine",
+    "ClusterSimulation",
+    "repair_under_load",
+    "migration_under_load",
+    "correlated_pool_failure",
+    "flash_crowd",
+]

@@ -1,0 +1,218 @@
+"""The global-clock cluster harness.
+
+:class:`ClusterSimulation` is the one-stop entry point for cross-shard
+timing experiments: it builds a :class:`~repro.cluster.deployment.ShardedCluster`
+whose every stochastic component derives from one root seed, attaches a
+:class:`~repro.sim.kernel.GlobalScheduler`, wraps every per-shard latency
+model in a shared :class:`~repro.net.latency.LatencyRegime` (so scenarios
+can shift the whole cluster between latency regimes), and exposes:
+
+* the keyed driving API (``invoke_write`` / ``invoke_read`` /
+  ``run_until_idle`` / ``history`` / ``check_atomicity`` / ...), so
+  :class:`~repro.workloads.runner.KeyedWorkloadRunner` drives it exactly
+  like a router -- except arrivals, repairs and migrations now interleave
+  on one global clock;
+* :meth:`add_workload` -- schedule a keyed workload's operations as timed
+  *arrival events* on the kernel (each operation is injected into its
+  shard at its nominal global time, creating the shard then if needed);
+* :meth:`apply` -- run a declarative :class:`~repro.sim.scenario.Scenario`;
+* :meth:`timeline` -- the merged global timeline of foreground operations,
+  background repairs, migrations and scenario actions, which is what the
+  examples print and the interleaving tests assert on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cluster.deployment import ShardedCluster, seeded_latency_factory
+from repro.cluster.repair import GAVE_UP
+from repro.consistency.history import History
+from repro.consistency.linearizability import AtomicityViolation
+from repro.core.config import LDSConfig
+from repro.net.latency import LatencyRegime
+from repro.sim.kernel import GlobalScheduler, KernelStats
+from repro.sim.scenario import Scenario, ScenarioEngine
+from repro.workloads.generator import Workload
+
+
+class ClusterSimulation:
+    """A sharded cluster driven end to end by one global simulation kernel."""
+
+    def __init__(self, config: LDSConfig, pool_names: List[str], *,
+                 seed: int = 0, record_trace: bool = False,
+                 vnodes: int = 128,
+                 writers_per_shard: int = 1, readers_per_shard: int = 1,
+                 repair_min_interval: float = 5.0,
+                 repair_max_concurrent: int = 1,
+                 repair_detection_delay: float = 1.0,
+                 repair_slot_jitter: float = 0.0) -> None:
+        self.seed = seed
+        self.kernel = GlobalScheduler(record_trace=record_trace)
+        self.latency_regime = LatencyRegime()
+        self.cluster = ShardedCluster(
+            config, pool_names,
+            vnodes=vnodes,
+            writers_per_shard=writers_per_shard,
+            readers_per_shard=readers_per_shard,
+            latency_factory=seeded_latency_factory(seed,
+                                                   regime=self.latency_regime),
+            repair_min_interval=repair_min_interval,
+            repair_max_concurrent=repair_max_concurrent,
+            repair_detection_delay=repair_detection_delay,
+            repair_slot_jitter=repair_slot_jitter,
+            seed=seed,
+        )
+        self.cluster.attach_kernel(self.kernel)
+        self.engine = ScenarioEngine(self)
+
+    # -- conveniences over the wired parts ---------------------------------------
+
+    @property
+    def config(self) -> LDSConfig:
+        return self.cluster.config
+
+    @property
+    def router(self):
+        return self.cluster.router
+
+    @property
+    def membership(self):
+        return self.cluster.membership
+
+    @property
+    def repair(self):
+        return self.cluster.repair
+
+    @property
+    def now(self) -> float:
+        return self.kernel.now
+
+    @property
+    def interleaving(self) -> KernelStats:
+        return self.kernel.stats
+
+    def set_latency_scale(self, scale: float) -> None:
+        """Shift the whole cluster's latency regime (takes effect on the
+        next message of every shard)."""
+        self.latency_regime.set(scale)
+
+    def ensure_shards(self, keys) -> None:
+        """Pre-warm shards at the current global time.
+
+        Shards are otherwise created lazily at their first arrival, so a
+        failure scripted early in a scenario would only touch the few
+        shards that happen to exist by then.
+        """
+        self.cluster.router.ensure_shards(keys)
+
+    # -- workload arrivals ----------------------------------------------------------
+
+    @property
+    def arrivals(self) -> int:
+        """Count of operations injected through kernel arrival events."""
+        return self.cluster.router.stats.arrivals
+
+    def add_workload(self, workload: Workload, start: float = 0.0,
+                     on_handle=None) -> int:
+        """Schedule a keyed workload's operations as kernel arrival events
+        (see :meth:`ObjectRouter.add_workload`, the single implementation)."""
+        return self.cluster.router.add_workload(workload, start=start,
+                                                on_handle=on_handle)
+
+    def check_workload_clients(self, workload: Workload) -> None:
+        """Reject a workload addressing more per-shard clients than exist
+        (e.g. the flash-crowd scenario's second client population on a
+        default one-client simulation) -- see the router's check."""
+        self.cluster.router.check_workload_clients(workload)
+
+    # -- the keyed driving API (KeyedDrivableSystem) ----------------------------------
+
+    def invoke_write(self, key: str, value: bytes, writer=0,
+                     at: Optional[float] = None) -> str:
+        return self.cluster.invoke_write(key, value, writer=writer, at=at)
+
+    def invoke_read(self, key: str, reader=0,
+                    at: Optional[float] = None) -> str:
+        return self.cluster.invoke_read(key, reader=reader, at=at)
+
+    def flush_key(self, key: str) -> int:
+        return self.cluster.flush_key(key)
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        self.cluster.router.flush()
+        self.kernel.run(until=until, max_events=max_events)
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        self.cluster.run_until_idle(max_events=max_events)
+
+    def history(self, global_clock: bool = True) -> History:
+        return self.cluster.history(global_clock=global_clock)
+
+    def check_atomicity(self) -> Optional[AtomicityViolation]:
+        return self.cluster.check_atomicity()
+
+    def operation_cost(self, handle: str) -> float:
+        return self.cluster.operation_cost(handle)
+
+    @property
+    def communication_cost(self) -> float:
+        return self.cluster.communication_cost
+
+    # -- scenarios -----------------------------------------------------------------------
+
+    def apply(self, scenario: Scenario, run: bool = True) -> ScenarioEngine:
+        """Schedule a scenario's actions; optionally pump to quiescence."""
+        self.engine.schedule(scenario)
+        if run:
+            self.run_until_idle()
+        return self.engine
+
+    # -- the merged global timeline --------------------------------------------------------
+
+    def timeline(self) -> List[Tuple[float, str, str]]:
+        """Every simulated happening as ``(global_time, category, detail)``.
+
+        Categories: ``invoke`` / ``respond`` (foreground operations, with
+        the shard key in the detail), ``repair-start`` / ``repair-done``,
+        ``migrate`` and the scenario action kinds.  Sorted by time; this is
+        the artefact proving repairs and migrations interleave with
+        foreground operations across shards on one clock.
+        """
+        entries: List[Tuple[float, str, str]] = []
+        for op in self.history(global_clock=True):
+            label = f"{op.kind} {op.op_id}"
+            entries.append((op.invoked_at, "invoke", label))
+            if op.responded_at is not None:
+                entries.append((op.responded_at, "respond", label))
+        for task in self.repair.tasks:
+            # A task that gave up without ever executing (e.g. its shard
+            # migrated away before the slot came due) never started; its
+            # assigned slot time would be a phantom on the timeline.
+            never_ran = task.status == GAVE_UP and task.attempts == 0
+            if task.scheduled_at is not None and not never_ran:
+                entries.append((task.scheduled_at, "repair-start",
+                                f"{task.key} l2-{task.l2_index}"))
+            if task.completed_at is not None:
+                entries.append((task.completed_at, "repair-done",
+                                f"{task.key} l2-{task.l2_index}"))
+        for time, key, source, target in self.cluster.router.migration_log:
+            entries.append((time, "migrate", f"{key}: {source} -> {target}"))
+        for time, kind, detail in self.engine.log:
+            entries.append((time, kind, detail))
+        entries.sort(key=lambda entry: entry[0])
+        return entries
+
+    def describe(self) -> str:
+        stats = self.kernel.stats
+        return (
+            f"ClusterSimulation(seed={self.seed}, now={self.kernel.now:.1f}, "
+            f"sources={len(self.kernel.sources())}, "
+            f"events={stats.events_total}, "
+            f"switch_rate={stats.switch_rate:.2f}, "
+            f"{self.cluster.describe()})"
+        )
+
+
+__all__ = ["ClusterSimulation"]

@@ -1,0 +1,277 @@
+"""The global-clock simulation kernel.
+
+Each :class:`~repro.core.system.LDSSystem` owns a private
+:class:`~repro.net.simulator.Simulator`, so a sharded cluster is a federation
+of independent event queues.  Running them one after another (the legacy
+``run_until_idle`` loop) destroys every cross-shard timing phenomenon:
+background repair slots never compete with foreground load, migrations never
+overlap writes, and correlated failures collapse into sequential ones.
+
+The :class:`GlobalScheduler` fixes that by multiplexing any number of
+per-shard simulators -- plus its own kernel event queue for scenario actions
+and workload arrivals -- onto **one monotonic global clock**:
+
+* every registered simulator becomes a :class:`SimulatorSource` with a fixed
+  ``offset`` mapping its local clock onto the global one (``global = offset +
+  local``); a shard created at global time *g* simply gets ``offset = g``;
+* each :meth:`step` picks the source whose next pending event has the
+  smallest global time and executes exactly that one event, so events from
+  different shards interleave exactly as their timestamps dictate;
+* ties are broken by source registration order, and each simulator's own
+  queue is FIFO at equal times, so the merged order is a pure function of
+  the event timestamps -- deterministic under a fixed seed.
+
+The kernel also maintains a rolling CRC *fingerprint* of the executed
+``(source, time)`` sequence, giving determinism tests an O(1)-memory
+signature of the entire global event order, and (optionally) a full trace.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.simulator import EventHandle, Simulator
+
+#: Name of the kernel's own event queue (scenario actions, arrivals).
+KERNEL_SOURCE = "kernel"
+
+
+class SimulatorSource:
+    """One per-shard simulator adapted onto the global clock."""
+
+    def __init__(self, name: str, simulator: Simulator, offset: float = 0.0) -> None:
+        self.name = name
+        self.simulator = simulator
+        self.offset = offset
+        self.events_executed = 0
+
+    def next_time(self) -> Optional[float]:
+        """Global time of the source's next pending event (None when idle)."""
+        local = self.simulator.peek_time()
+        return None if local is None else self.offset + local
+
+    def step(self) -> bool:
+        """Run exactly one event of the underlying simulator."""
+        ran = self.simulator.step()
+        if ran:
+            self.events_executed += 1
+        return ran
+
+    def to_global(self, local_time: float) -> float:
+        return self.offset + local_time
+
+    def to_local(self, global_time: float) -> float:
+        return global_time - self.offset
+
+    @property
+    def global_now(self) -> float:
+        """The source's local clock expressed on the global timeline."""
+        return self.offset + self.simulator.now
+
+
+@dataclass
+class KernelStats:
+    """Interleaving statistics of the merged execution."""
+
+    events_total: int = 0
+    #: Events executed per source name (retains unregistered sources).
+    events_by_source: Dict[str, int] = field(default_factory=dict)
+    #: Number of consecutive event pairs drawn from *different* sources --
+    #: the direct measure of cross-shard interleaving (0 means the merged
+    #: execution degenerated into per-shard blocks).
+    context_switches: int = 0
+    _last_source: Optional[str] = None
+
+    def record(self, source_name: str) -> None:
+        self.events_total += 1
+        self.events_by_source[source_name] = (
+            self.events_by_source.get(source_name, 0) + 1
+        )
+        if self._last_source is not None and self._last_source != source_name:
+            self.context_switches += 1
+        self._last_source = source_name
+
+    @property
+    def switch_rate(self) -> float:
+        """Fraction of event transitions that crossed source boundaries."""
+        if self.events_total <= 1:
+            return 0.0
+        return self.context_switches / (self.events_total - 1)
+
+    def busiest_sources(self, limit: int = 5) -> List[Tuple[str, int]]:
+        ranked = sorted(self.events_by_source.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:limit]
+
+
+class GlobalScheduler:
+    """Merges many simulators into one deterministic global event pump."""
+
+    def __init__(self, record_trace: bool = False) -> None:
+        self._sources: Dict[str, SimulatorSource] = {}
+        self._retired_offsets: Dict[str, float] = {}
+        self._now = 0.0
+        self.stats = KernelStats()
+        self.record_trace = record_trace
+        #: Full (global_time, source_name) trace when ``record_trace`` is on.
+        self.trace: List[Tuple[float, str]] = []
+        self._fingerprint = 0
+        # The kernel's own queue carries scenario actions and workload
+        # arrivals; registering it first makes kernel events win every tie
+        # against shard events at the same global time, so an arrival at t
+        # is injected before the shards advance past t.
+        self._kernel_sim = Simulator()
+        self.register_simulator(self._kernel_sim, name=KERNEL_SOURCE, offset=0.0)
+
+    # -- source registry --------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The current global virtual time (monotonically non-decreasing)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self.stats.events_total
+
+    def register_simulator(self, simulator: Simulator, name: str,
+                           offset: Optional[float] = None) -> SimulatorSource:
+        """Adopt a simulator as an event source on the global clock.
+
+        When ``offset`` is omitted the simulator's *current* local time is
+        aligned with the *current* global time, which is the right thing
+        both for fresh simulators (local 0 == now) and for simulators
+        attached after they already ran on their own.
+        """
+        if name in self._sources:
+            raise ValueError(f"duplicate event source {name!r}")
+        if offset is None:
+            offset = self._now - simulator.now
+        source = SimulatorSource(name=name, simulator=simulator, offset=offset)
+        self._sources[name] = source
+        self._retired_offsets.pop(name, None)
+        return source
+
+    def unregister(self, name: str) -> None:
+        """Drop a source (e.g. a drained pre-migration shard).
+
+        The offset stays queryable through :meth:`offset_of` for
+        inspection; the authoritative history-to-global mapping lives with
+        the owner of the source (the router keeps its own per-epoch offset
+        map, which also covers epochs that never were kernel sources).
+        """
+        source = self._sources.pop(name)
+        self._retired_offsets[name] = source.offset
+
+    def source(self, name: str) -> SimulatorSource:
+        return self._sources[name]
+
+    def sources(self) -> List[SimulatorSource]:
+        return list(self._sources.values())
+
+    def offset_of(self, name: str) -> float:
+        """Offset of a live *or retired* source."""
+        live = self._sources.get(name)
+        if live is not None:
+            return live.offset
+        return self._retired_offsets[name]
+
+    # -- kernel events -----------------------------------------------------------
+
+    def schedule_at(self, time: float, callback) -> EventHandle:
+        """Schedule a kernel event (scenario action, arrival) at a global time."""
+        if time < self._now:
+            raise ValueError("cannot schedule a kernel event in the global past")
+        return self._kernel_sim.schedule_at(time, callback)
+
+    def schedule(self, delay: float, callback) -> EventHandle:
+        """Schedule a kernel event ``delay`` global time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule a kernel event in the global past")
+        return self.schedule_at(self._now + delay, callback)
+
+    # -- the event pump -------------------------------------------------------------
+
+    def peek(self) -> Optional[Tuple[float, str]]:
+        """Global time and source of the next event, or None when all idle.
+
+        A source whose head event maps before the global clock (possible
+        when a simulator was attached mid-flight) is clamped to *now* --
+        the global clock never moves backwards.
+        """
+        best_time: Optional[float] = None
+        best_name: Optional[str] = None
+        for name, source in self._sources.items():
+            time = source.next_time()
+            if time is None:
+                continue
+            effective = time if time > self._now else self._now
+            if best_time is None or effective < best_time:
+                best_time = effective
+                best_name = name
+        if best_name is None:
+            return None
+        return best_time, best_name
+
+    def step(self) -> bool:
+        """Execute the globally earliest pending event; False when idle."""
+        head = self.peek()
+        if head is None:
+            return False
+        self._execute(head)
+        return True
+
+    def _execute(self, head: Tuple[float, str]) -> None:
+        time, name = head
+        self._now = time
+        self._sources[name].step()
+        self.stats.record(name)
+        self._fingerprint = zlib.crc32(
+            f"{name}@{time!r}".encode(), self._fingerprint
+        )
+        if self.record_trace:
+            self.trace.append((time, name))
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Pump merged events, bounded by global time and/or event count.
+
+        The clock never rewinds: an ``until`` already in the past leaves it
+        untouched (matching :meth:`Simulator.run`).
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                return
+            head = self.peek()
+            if head is None:
+                break
+            if until is not None and head[0] > until:
+                break
+            self._execute(head)
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Pump until every source is drained; guards against runaways."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(
+                    "global simulation exceeded the maximum event budget"
+                )
+
+    @property
+    def fingerprint(self) -> int:
+        """CRC32 over the executed (source, time) sequence.
+
+        Two runs with the same seed must produce the same fingerprint; this
+        is the determinism regression signal.
+        """
+        return self._fingerprint
+
+
+__all__ = ["GlobalScheduler", "KernelStats", "SimulatorSource", "KERNEL_SOURCE"]

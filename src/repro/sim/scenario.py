@@ -1,0 +1,276 @@
+"""Declarative scenarios: timed scripts driving a cluster on the global clock.
+
+A :class:`Scenario` is a named list of :class:`ScenarioAction` records --
+crash/recover a node, join/leave a pool, shift the latency regime, start a
+workload phase -- each pinned to a global virtual time.  The
+:class:`ScenarioEngine` schedules every action as a kernel event on a
+:class:`~repro.sim.harness.ClusterSimulation`, so faults, migrations and
+load changes land *between* foreground protocol events exactly where the
+timeline puts them, instead of between whole run-to-idle passes.
+
+Four scenarios ship with the engine, covering the cross-shard phenomena the
+legacy per-shard loop could never exhibit:
+
+* :func:`repair_under_load` -- a back-end node dies mid-workload and the
+  rate-limited background repairs compete with foreground Zipf traffic;
+* :func:`migration_under_load` -- a new pool joins mid-workload and shard
+  migrations overlap live writes;
+* :func:`correlated_pool_failure` -- one pool loses an edge (L1) node and a
+  back-end (L2) node almost simultaneously;
+* :func:`flash_crowd` -- key popularity snaps to a heavier Zipf skew while
+  the latency regime degrades, modelling a viral-object traffic spike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import List, Optional, Tuple
+
+from repro.cluster.membership import FAILED
+from repro.cluster.ring import derive_seed
+from repro.workloads.generator import Workload, WorkloadGenerator
+
+#: Action kinds.
+FAIL_NODE = "fail-node"
+RECOVER_NODE = "recover-node"
+JOIN_POOL = "join-pool"
+LEAVE_POOL = "leave-pool"
+LATENCY_SHIFT = "latency-shift"
+WORKLOAD_PHASE = "workload-phase"
+
+_KINDS = (FAIL_NODE, RECOVER_NODE, JOIN_POOL, LEAVE_POOL,
+          LATENCY_SHIFT, WORKLOAD_PHASE)
+
+
+@dataclass(frozen=True)
+class ScenarioAction:
+    """One timed action of a scenario script."""
+
+    at: float
+    kind: str
+    #: Node id (fail/recover) or pool name (join/leave); unused otherwise.
+    target: str = ""
+    #: New latency multiplier for LATENCY_SHIFT.
+    scale: float = 1.0
+    #: Ring weight for JOIN_POOL.
+    weight: float = 1.0
+    #: The workload whose arrivals start at ``at`` for WORKLOAD_PHASE
+    #: (operation times are relative to the phase start).
+    workload: Optional[Workload] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown scenario action kind {self.kind!r}")
+        if self.at < 0:
+            raise ValueError("scenario actions cannot be scheduled in the past")
+        if self.kind == WORKLOAD_PHASE and self.workload is None:
+            raise ValueError("a workload phase needs a workload")
+        if self.kind in (FAIL_NODE, RECOVER_NODE, JOIN_POOL, LEAVE_POOL) \
+                and not self.target:
+            raise ValueError(f"action {self.kind!r} needs a target")
+
+
+@dataclass
+class Scenario:
+    """A named, ordered script of timed actions."""
+
+    name: str
+    description: str = ""
+    actions: List[ScenarioAction] = field(default_factory=list)
+
+    def add(self, action: ScenarioAction) -> "Scenario":
+        self.actions.append(action)
+        return self
+
+    def sorted_actions(self) -> List[ScenarioAction]:
+        """Actions by time; equal times keep script order (stable sort)."""
+        return sorted(self.actions, key=lambda action: action.at)
+
+    @property
+    def duration(self) -> float:
+        return max((action.at for action in self.actions), default=0.0)
+
+
+class ScenarioEngine:
+    """Schedules a scenario's actions as kernel events on a simulation."""
+
+    def __init__(self, simulation) -> None:
+        self.simulation = simulation
+        #: (global_time, kind, detail) for every applied action.
+        self.log: List[Tuple[float, str, str]] = []
+
+    def schedule(self, scenario: Scenario) -> None:
+        """Register every action with the global kernel (does not run it).
+
+        Workload phases are validated against the simulation's per-shard
+        client counts *now*, so an undersized simulation fails here with a
+        named error instead of deep inside a future arrival event.
+        """
+        kernel = self.simulation.kernel
+        for action in scenario.sorted_actions():
+            if action.kind == WORKLOAD_PHASE:
+                self.simulation.check_workload_clients(action.workload)
+            at = max(action.at, kernel.now)
+            kernel.schedule_at(at, lambda action=action: self._apply(action))
+
+    def _apply(self, action: ScenarioAction) -> None:
+        simulation = self.simulation
+        cluster = simulation.cluster
+        now = simulation.kernel.now
+        detail = action.label or action.target
+        if action.kind == FAIL_NODE:
+            cluster.fail_node(action.target, time=now)
+        elif action.kind == RECOVER_NODE:
+            # The repair scheduler usually beats scripted recovery; only
+            # flip nodes that are actually still down.
+            node = cluster.node(action.target)
+            if node.status == FAILED:
+                cluster.membership.recover(action.target, time=now)
+            else:
+                detail = f"{detail} (already {node.status})"
+        elif action.kind == JOIN_POOL:
+            plan = cluster.add_pool(action.target, time=now, weight=action.weight)
+            detail = f"{detail} ({len(plan.moves)} shards migrated)"
+        elif action.kind == LEAVE_POOL:
+            plan = cluster.remove_pool(action.target, time=now)
+            detail = f"{detail} ({len(plan.moves)} shards migrated)"
+        elif action.kind == LATENCY_SHIFT:
+            simulation.set_latency_scale(action.scale)
+            detail = f"{detail or 'scale'} -> {action.scale:g}x"
+        elif action.kind == WORKLOAD_PHASE:
+            simulation.add_workload(action.workload, start=now)
+            detail = (f"{detail or action.workload.description} "
+                      f"({len(action.workload)} ops)")
+        self.log.append((now, action.kind, detail))
+
+
+# -- shipped scenarios ------------------------------------------------------------
+
+
+def repair_under_load(keys, victim_node: str, *, seed: int = 0,
+                      operations: int = 160, write_fraction: float = 0.4,
+                      duration: float = 600.0, s: float = 1.2,
+                      fail_at: float = 120.0,
+                      client_spacing: float = 60.0) -> Scenario:
+    """Background repair slots competing with foreground Zipf load."""
+    generator = WorkloadGenerator(seed=derive_seed(seed, "repair-under-load"),
+                                  client_spacing=client_spacing)
+    load = generator.zipf_keyed(keys, operations, write_fraction, duration, s=s)
+    return Scenario(
+        name="repair-under-load",
+        description=(f"zipf(s={s}) foreground load; {victim_node} fails at "
+                     f"t={fail_at:g} and is repaired in the background"),
+        actions=[
+            ScenarioAction(at=0.0, kind=WORKLOAD_PHASE, workload=load,
+                           label="zipf foreground load"),
+            ScenarioAction(at=fail_at, kind=FAIL_NODE, target=victim_node,
+                           label=f"crash {victim_node}"),
+        ],
+    )
+
+
+def migration_under_load(keys, new_pool: str, *, seed: int = 0,
+                         operations: int = 160, write_fraction: float = 0.4,
+                         duration: float = 600.0, join_at: float = 200.0,
+                         weight: float = 1.0,
+                         client_spacing: float = 60.0) -> Scenario:
+    """A pool joins mid-workload; shard migrations overlap live writes."""
+    generator = WorkloadGenerator(seed=derive_seed(seed, "migration-under-load"),
+                                  client_spacing=client_spacing)
+    load = generator.keyed_random(keys, operations, write_fraction, duration)
+    return Scenario(
+        name="migration-under-load",
+        description=(f"uniform keyed load; pool {new_pool!r} joins at "
+                     f"t={join_at:g} and shards migrate onto it"),
+        actions=[
+            ScenarioAction(at=0.0, kind=WORKLOAD_PHASE, workload=load,
+                           label="uniform foreground load"),
+            ScenarioAction(at=join_at, kind=JOIN_POOL, target=new_pool,
+                           weight=weight, label=f"join {new_pool}"),
+        ],
+    )
+
+
+def correlated_pool_failure(keys, pool: str, *, seed: int = 0,
+                            operations: int = 160, write_fraction: float = 0.4,
+                            duration: float = 600.0, fail_at: float = 150.0,
+                            stagger: float = 5.0,
+                            client_spacing: float = 60.0) -> Scenario:
+    """One pool loses an edge node and a back-end node within ``stagger``.
+
+    Both failures stay inside the algorithm's tolerance (f1, f2 >= 1): the
+    L1 crash is absorbed natively while the L2 crash triggers background
+    regeneration for every shard on the pool.
+    """
+    generator = WorkloadGenerator(seed=derive_seed(seed, "correlated-failure"),
+                                  client_spacing=client_spacing)
+    load = generator.zipf_keyed(keys, operations, write_fraction, duration, s=1.0)
+    return Scenario(
+        name="correlated-pool-failure",
+        description=(f"pool {pool!r} loses l2-0 at t={fail_at:g} and l1-0 "
+                     f"{stagger:g} time units later"),
+        actions=[
+            ScenarioAction(at=0.0, kind=WORKLOAD_PHASE, workload=load,
+                           label="zipf foreground load"),
+            ScenarioAction(at=fail_at, kind=FAIL_NODE, target=f"{pool}/l2-0",
+                           label=f"crash {pool}/l2-0"),
+            ScenarioAction(at=fail_at + stagger, kind=FAIL_NODE,
+                           target=f"{pool}/l1-0", label=f"crash {pool}/l1-0"),
+        ],
+    )
+
+
+def flash_crowd(keys, *, seed: int = 0, operations: int = 120,
+                crowd_operations: int = 160, write_fraction: float = 0.3,
+                duration: float = 400.0, shift_at: float = 250.0,
+                s_before: float = 0.8, s_after: float = 1.6,
+                latency_scale: float = 1.5,
+                client_spacing: float = 60.0) -> Scenario:
+    """Key popularity snaps to a heavy Zipf skew and latency degrades.
+
+    The crowd is a *second* client population (per-shard client index 1),
+    because on the global clock its operations overlap the tail of the calm
+    phase and a single client may only have one operation outstanding --
+    run this scenario on a simulation with ``writers_per_shard`` and
+    ``readers_per_shard`` of at least 2.  The crowd's spacing is stretched
+    by ``latency_scale`` so the workload stays well-formed in the degraded
+    latency regime it itself creates.
+    """
+    generator = WorkloadGenerator(seed=derive_seed(seed, "flash-crowd"),
+                                  client_spacing=client_spacing)
+    calm = generator.zipf_keyed(keys, operations, write_fraction, shift_at,
+                                s=s_before)
+    crowd_generator = WorkloadGenerator(
+        seed=derive_seed(seed, "flash-crowd", "crowd"),
+        client_spacing=client_spacing * latency_scale,
+    )
+    crowd_raw = crowd_generator.zipf_keyed(
+        keys, crowd_operations, write_fraction, duration - shift_at, s=s_after,
+    )
+    crowd = Workload(description=crowd_raw.description + " (crowd clients)")
+    for operation in crowd_raw.operations:
+        crowd.add(dc_replace(operation, client_index=operation.client_index + 1))
+    return Scenario(
+        name="flash-crowd",
+        description=(f"zipf skew shifts s={s_before:g} -> s={s_after:g} at "
+                     f"t={shift_at:g} with a {latency_scale:g}x latency "
+                     f"regime shift"),
+        actions=[
+            ScenarioAction(at=0.0, kind=WORKLOAD_PHASE, workload=calm,
+                           label=f"calm zipf(s={s_before:g}) load"),
+            ScenarioAction(at=shift_at, kind=LATENCY_SHIFT,
+                           scale=latency_scale, label="network saturates"),
+            ScenarioAction(at=shift_at, kind=WORKLOAD_PHASE, workload=crowd,
+                           label=f"flash crowd zipf(s={s_after:g})"),
+        ],
+    )
+
+
+__all__ = [
+    "FAIL_NODE", "RECOVER_NODE", "JOIN_POOL", "LEAVE_POOL",
+    "LATENCY_SHIFT", "WORKLOAD_PHASE",
+    "Scenario", "ScenarioAction", "ScenarioEngine",
+    "repair_under_load", "migration_under_load",
+    "correlated_pool_failure", "flash_crowd",
+]

@@ -100,6 +100,134 @@ class TestRunControl:
             simulator.run_until_idle(max_events=100)
 
 
+class TestEdgeCases:
+    """Past-due scheduling, budget exhaustion, and idle clock advances."""
+
+    def test_schedule_at_exactly_now_is_allowed(self):
+        simulator = Simulator()
+        simulator.schedule(5.0, lambda: None)
+        simulator.run_until_idle()
+        fired = []
+        simulator.schedule_at(5.0, lambda: fired.append(simulator.now))
+        simulator.run_until_idle()
+        assert fired == [5.0]
+
+    def test_schedule_zero_delay_runs_at_current_time(self):
+        simulator = Simulator()
+        times = []
+        simulator.schedule(3.0, lambda: simulator.schedule(
+            0.0, lambda: times.append(simulator.now)))
+        simulator.run_until_idle()
+        assert times == [3.0]
+
+    def test_schedule_at_epsilon_before_now_rejected(self):
+        simulator = Simulator()
+        simulator.schedule(2.0, lambda: None)
+        simulator.run_until_idle()
+        with pytest.raises(ValueError):
+            simulator.schedule_at(2.0 - 1e-9, lambda: None)
+
+    def test_past_due_rejection_inside_a_callback(self):
+        simulator = Simulator()
+        errors = []
+
+        def callback():
+            try:
+                simulator.schedule_at(simulator.now - 0.5, lambda: None)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        simulator.schedule(1.0, callback)
+        simulator.run_until_idle()
+        assert len(errors) == 1
+
+    def test_max_events_exhaustion_resumes_where_it_stopped(self):
+        simulator = Simulator()
+        fired = []
+        for i in range(6):
+            simulator.schedule(float(i), lambda i=i: fired.append(i))
+        simulator.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+        assert simulator.now == 3.0
+        simulator.run(max_events=4)
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert simulator.events_processed == 6
+
+    def test_max_events_does_not_count_cancelled_events(self):
+        simulator = Simulator()
+        fired = []
+        handle = simulator.schedule(1.0, lambda: fired.append("cancelled"))
+        simulator.schedule(2.0, lambda: fired.append("a"))
+        simulator.schedule(3.0, lambda: fired.append("b"))
+        handle.cancel()
+        simulator.run(max_events=2)
+        assert fired == ["a", "b"]
+
+    def test_clock_advances_to_until_when_idle(self):
+        simulator = Simulator()
+        simulator.run(until=42.0)
+        assert simulator.now == 42.0
+        # A second bounded run with a smaller horizon must not rewind.
+        simulator.run(until=10.0)
+        assert simulator.now == 42.0
+
+    def test_clock_advances_past_last_event_to_until(self):
+        simulator = Simulator()
+        simulator.schedule(1.0, lambda: None)
+        simulator.run(until=7.5)
+        assert simulator.now == 7.5
+
+    def test_event_exactly_at_until_runs(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(5.0, lambda: fired.append("edge"))
+        simulator.run(until=5.0)
+        assert fired == ["edge"]
+        assert simulator.now == 5.0
+
+    def test_until_and_max_events_combine(self):
+        simulator = Simulator()
+        fired = []
+        for i in range(5):
+            simulator.schedule(float(i), lambda i=i: fired.append(i))
+        simulator.run(until=10.0, max_events=2)
+        assert fired == [0, 1]
+        simulator.run(until=2.5)
+        assert fired == [0, 1, 2]
+        assert simulator.now == 2.5
+
+    def test_step_skips_cancelled_and_runs_next_real_event(self):
+        simulator = Simulator()
+        fired = []
+        handle = simulator.schedule(1.0, lambda: fired.append("no"))
+        simulator.schedule(2.0, lambda: fired.append("yes"))
+        handle.cancel()
+        assert simulator.step() is True
+        assert fired == ["yes"]
+        assert simulator.events_processed == 1
+
+
+class TestPeek:
+    def test_peek_time_on_empty_queue(self):
+        assert Simulator().peek_time() is None
+
+    def test_peek_time_reports_next_event_without_running_it(self):
+        simulator = Simulator()
+        fired = []
+        simulator.schedule(4.0, lambda: fired.append(4))
+        simulator.schedule(2.0, lambda: fired.append(2))
+        assert simulator.peek_time() == 2.0
+        assert fired == []
+        assert simulator.now == 0.0
+
+    def test_peek_time_skips_cancelled_head(self):
+        simulator = Simulator()
+        handle = simulator.schedule(1.0, lambda: None)
+        simulator.schedule(3.0, lambda: None)
+        handle.cancel()
+        assert simulator.peek_time() == 3.0
+
+
 class TestCancellation:
     def test_cancelled_event_does_not_run(self):
         simulator = Simulator()

@@ -13,7 +13,9 @@ with every substrate it depends on:
   cost accounting and the closed-form analysis of Section V;
 * ``repro.baselines`` -- ABD (replication) and CAS (single-layer coded)
   atomic registers for comparison;
-* ``repro.consistency`` -- operation histories and atomicity checking;
+* ``repro.consistency`` -- operation histories, atomicity checking, and
+  the cross-shard session-consistency auditor with its fault-injection
+  harness;
 * ``repro.workloads`` -- workload generation and measurement;
 * ``repro.cluster`` -- the scale-out layer: consistent-hash placement of
   object shards onto server pools, a keyed object router fanning out to
@@ -45,7 +47,16 @@ from repro.codes import (
     ReedSolomonCode,
     ReplicationCode,
 )
-from repro.consistency import History, LinearizabilityChecker, check_atomicity_by_tags
+from repro.consistency import (
+    ClusterAuditReport,
+    History,
+    LinearizabilityChecker,
+    SessionAuditReport,
+    SessionViolation,
+    check_atomicity_by_tags,
+    check_sessions,
+    inject_session_violation,
+)
 from repro.net import (
     BoundedLatencyModel,
     ExponentialLatencyModel,
@@ -95,6 +106,11 @@ __all__ = [
     "History",
     "LinearizabilityChecker",
     "check_atomicity_by_tags",
+    "ClusterAuditReport",
+    "SessionAuditReport",
+    "SessionViolation",
+    "check_sessions",
+    "inject_session_violation",
     "Simulator",
     "Network",
     "FixedLatencyModel",

@@ -104,12 +104,16 @@ class ShardedCluster:
         return self.router.read(key, reader=reader)
 
     def invoke_write(self, key: str, value: bytes, writer: Union[int, str] = 0,
-                     at: Optional[float] = None) -> str:
-        return self.router.invoke_write(key, value, writer=writer, at=at)
+                     at: Optional[float] = None,
+                     session: Optional[str] = None) -> str:
+        return self.router.invoke_write(key, value, writer=writer, at=at,
+                                        session=session)
 
     def invoke_read(self, key: str, reader: Union[int, str] = 0,
-                    at: Optional[float] = None) -> str:
-        return self.router.invoke_read(key, reader=reader, at=at)
+                    at: Optional[float] = None,
+                    session: Optional[str] = None) -> str:
+        return self.router.invoke_read(key, reader=reader, at=at,
+                                       session=session)
 
     def flush_key(self, key: str) -> int:
         return self.router.flush_key(key)

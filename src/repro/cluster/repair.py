@@ -159,6 +159,15 @@ class RepairScheduler:
 
     def _dispatch(self, task: RepairTask) -> None:
         """Assign the earliest rate-limiter slot at or after ``ready_at``."""
+        shard = self.router.shards.get(task.key)
+        if shard is None:
+            # Nothing left to repair here: give up *before* booking a
+            # rate-limiter slot, or the dead task would push every later
+            # repair's start time out by min_interval.
+            task.status = GAVE_UP
+            self.stats.gave_up += 1
+            self._task_finished(task)
+            return
         slot_index = min(range(len(self._slots)), key=lambda i: self._slots[i])
         start = max(task.ready_at, self._slots[slot_index])
         if self.slot_jitter > 0:
@@ -166,11 +175,6 @@ class RepairScheduler:
         self._slots[slot_index] = start + self.min_interval
         task.scheduled_at = start
         task.status = SCHEDULED
-        shard = self.router.shards.get(task.key)
-        if shard is None:
-            task.status = GAVE_UP
-            self._task_finished(task)
-            return
         self.router.schedule_on_shard(shard, start, lambda: self._execute(task))
 
     # -- execution -------------------------------------------------------------------
@@ -179,6 +183,7 @@ class RepairScheduler:
         shard = self.router.shards.get(task.key)
         if shard is None:  # migrated away since scheduling
             task.status = GAVE_UP
+            self.stats.gave_up += 1
             self._task_finished(task)
             return
         server = shard.system.l2_servers[task.l2_index]

@@ -49,6 +49,7 @@ Failures and rebalancing:
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Callable, Dict, List, Optional, Union
 
@@ -75,6 +76,8 @@ class _PendingOp:
     client: Union[int, str]
     at: Optional[float]
     value: Optional[bytes] = None
+    #: Logical cross-shard client session (see repro.consistency.sessions).
+    session: Optional[str] = None
 
 
 @dataclass
@@ -119,6 +122,12 @@ def _object_id(key: str, epoch: int) -> str:
     return key if epoch == 0 else f"{key}@e{epoch}"
 
 
+#: Keys must not end in the router's own epoch suffix, or merged-history
+#: object ids would be ambiguous (key 'a@e2' vs epoch 2 of key 'a') and the
+#: session auditor's (key, epoch) parsing would fold unrelated keys together.
+_EPOCH_SUFFIX_RE = re.compile(r"@e\d+$")
+
+
 class ObjectRouter:
     """Routes keyed read/write operations to per-shard LDS instances."""
 
@@ -151,6 +160,12 @@ class ObjectRouter:
         #: from the merged history so workload statistics only count
         #: foreground operations.
         self._internal_ops: set = set()
+        #: (object_id, op_id) -> session id.  Sessions are a *cluster-level*
+        #: identity (one logical client spanning keys, shards and epochs);
+        #: the per-shard systems know nothing about them, so the router
+        #: records the mapping at flush time and re-attaches it when
+        #: histories are merged.
+        self._op_sessions: Dict[tuple, str] = {}
         #: Callbacks invoked for every newly built shard (the repair
         #: scheduler uses this to cover shards born on degraded pools).
         self.shard_created_hooks: List[Callable[[Shard], None]] = []
@@ -243,6 +258,11 @@ class ObjectRouter:
         existing = self._shards.get(key)
         if existing is not None:
             return existing
+        if _EPOCH_SUFFIX_RE.search(key):
+            raise ValueError(
+                f"key {key!r} ends in the router's reserved epoch suffix "
+                "('@e<n>', used to name migration epochs); rename the key"
+            )
         pool = self.membership.pool_for(key)
         shard = self._build_shard(key, pool, epoch=0,
                                   initial_value=self.config.initial_value)
@@ -331,21 +351,29 @@ class ObjectRouter:
                 )
 
     def invoke_write(self, key: str, value: bytes, writer: Union[int, str] = 0,
-                     at: Optional[float] = None) -> str:
-        """Queue a write on ``key``'s shard; returns an operation handle."""
+                     at: Optional[float] = None,
+                     session: Optional[str] = None) -> str:
+        """Queue a write on ``key``'s shard; returns an operation handle.
+
+        ``session`` names the logical client session the operation belongs
+        to; it is preserved end to end into the merged history's
+        ``Operation.session`` field for cross-shard session auditing.
+        """
         shard = self.shard(key)
         handle = self._new_handle(key, shard.epoch)
         shard.pending.append(_PendingOp(handle=handle, kind=WRITE, client=writer,
-                                        at=at, value=bytes(value)))
+                                        at=at, value=bytes(value),
+                                        session=session))
         return handle
 
     def invoke_read(self, key: str, reader: Union[int, str] = 0,
-                    at: Optional[float] = None) -> str:
+                    at: Optional[float] = None,
+                    session: Optional[str] = None) -> str:
         """Queue a read on ``key``'s shard; returns an operation handle."""
         shard = self.shard(key)
         handle = self._new_handle(key, shard.epoch)
         shard.pending.append(_PendingOp(handle=handle, kind=READ, client=reader,
-                                        at=at))
+                                        at=at, session=session))
         return handle
 
     # -- workload arrivals (kernel mode) ---------------------------------------------
@@ -361,8 +389,11 @@ class ObjectRouter:
         global clock reaches ``start + operation.at``.  A window that
         already passed is shifted forward *uniformly* (preserving relative
         spacing, hence per-client well-formedness, exactly like the legacy
-        batch ratchet).  ``on_handle(kind, handle)`` is invoked for every
-        injected operation so callers can collect handles for cost
+        batch ratchet).  Every arrival is stamped with the operation's
+        session identity (``ScheduledOperation.session_id``), so merged
+        histories carry the cross-shard client sessions the session
+        auditor groups by.  ``on_handle(kind, handle)`` is invoked for
+        every injected operation so callers can collect handles for cost
         reporting.  Returns the number of arrivals scheduled.
         """
         if self._kernel is None:
@@ -394,12 +425,15 @@ class ObjectRouter:
         return len(operations)
 
     def _arrive(self, operation, at: float, on_handle=None) -> None:
+        session = operation.session_id
         if operation.kind == WRITE:
             handle = self.invoke_write(operation.key, operation.value or b"",
-                                       writer=operation.client_index, at=at)
+                                       writer=operation.client_index, at=at,
+                                       session=session)
         else:
             handle = self.invoke_read(operation.key,
-                                      reader=operation.client_index, at=at)
+                                      reader=operation.client_index, at=at,
+                                      session=session)
         self.flush_key(operation.key)
         self.stats.arrivals += 1
         if on_handle is not None:
@@ -433,6 +467,8 @@ class ObjectRouter:
             else:
                 op_id = shard.system.invoke_read(reader=op.client, at=at)
             self._handles[op.handle][2] = op_id
+            if op.session is not None:
+                self._op_sessions[(shard.object_id, op_id)] = op.session
         self.stats.batches_flushed += 1
         self.stats.operations_flushed += len(batch)
         self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
@@ -540,14 +576,23 @@ class ObjectRouter:
 
         Operation and client ids are qualified with the epoch's object id so
         the merged history stays collision-free and well-formed (every shard
-        has clients named ``writer-0`` etc.).  The merged history is meant
-        for latency / throughput summaries; atomicity is checked per epoch
-        by :meth:`check_atomicity` because each migration epoch has its own
-        initial value.
+        has clients named ``writer-0`` etc.).  The *session* identity is
+        deliberately not qualified: it is the cross-shard client identity
+        recorded at invocation time, re-attached here so the session
+        auditor can follow one logical client across keys, shards and
+        migration epochs.  The merged history is meant for latency /
+        throughput summaries and session auditing; atomicity is checked per
+        epoch by :meth:`check_atomicity` because each migration epoch has
+        its own initial value.
 
         With ``global_clock`` (kernel mode only), every timestamp is shifted
         by its epoch's registration offset so operations from different
-        shards become comparable on the one global timeline.
+        shards become comparable on the one global timeline.  Every epoch
+        must have a recorded offset (live shards register on attach or
+        creation; retired epochs keep theirs, and pre-attach epochs are
+        backfilled by :meth:`attach_kernel`) -- a missing offset is a
+        bookkeeping bug and raises instead of silently mis-placing the
+        epoch at shift 0.
         """
         if global_clock and self._kernel is None:
             raise RuntimeError(
@@ -559,8 +604,17 @@ class ObjectRouter:
             for op in history.operations:
                 if (op.object_id, op.op_id) in self._internal_ops:
                     continue
-                shift = (self._kernel_offsets.get(op.object_id, 0.0)
-                         if global_clock else 0.0)
+                if global_clock:
+                    shift = self._kernel_offsets.get(op.object_id)
+                    if shift is None:
+                        raise RuntimeError(
+                            f"epoch {op.object_id!r} has no global-clock "
+                            "offset: it was never registered with the kernel "
+                            "nor backfilled at attach time, so its operations "
+                            "cannot be placed on the global timeline"
+                        )
+                else:
+                    shift = 0.0
                 merged.add(dc_replace(
                     op,
                     op_id=f"{op.object_id}/{op.op_id}",
@@ -568,6 +622,7 @@ class ObjectRouter:
                     invoked_at=op.invoked_at + shift,
                     responded_at=(None if op.responded_at is None
                                   else op.responded_at + shift),
+                    session=self._op_sessions.get((op.object_id, op.op_id)),
                 ))
         return merged
 
@@ -582,7 +637,7 @@ class ObjectRouter:
     def check_atomicity(self) -> Optional[AtomicityViolation]:
         """Check every epoch of every shard; returns the first violation found."""
         for history in self._all_histories():
-            violation = check_atomicity_by_tags(history.complete())
+            violation = check_atomicity_by_tags(history)
             if violation is not None:
                 return violation
         return None

@@ -1,9 +1,10 @@
-"""Consistency checking: operation histories and atomicity verification.
+"""Consistency checking: histories, atomicity, and session guarantees.
 
 The paper proves (Theorem IV.9) that every well-formed execution of the
 LDS algorithm is atomic, using the sufficient condition of Lemma 13.16 of
 Lynch's *Distributed Algorithms*.  This package provides the machinery to
-check that property on executions produced by the simulator:
+check that property -- and the cluster-level guarantees layered on top of
+it -- on executions produced by the simulator:
 
 * :mod:`repro.consistency.history` -- recording of operation invocations
   and responses into a :class:`History`.
@@ -12,6 +13,13 @@ check that property on executions produced by the simulator:
   exposes its version tags) and a general linearizability search for
   read/write registers (used to validate histories without trusting the
   implementation's own tags).
+* :mod:`repro.consistency.sessions` -- the cross-shard session auditor:
+  validates per-client monotonic reads / monotonic writes / read-your-
+  writes / writes-follow-reads across keys, shards and migration epochs
+  over a merged global-clock history.
+* :mod:`repro.consistency.injection` -- fault injection that perturbs a
+  history into a violation of each session-guarantee class, proving the
+  auditor detects what it claims to detect.
 """
 
 from repro.consistency.history import History, Operation, OperationRecorder
@@ -19,6 +27,23 @@ from repro.consistency.linearizability import (
     AtomicityViolation,
     LinearizabilityChecker,
     check_atomicity_by_tags,
+)
+from repro.consistency.sessions import (
+    MONOTONIC_READS,
+    MONOTONIC_WRITES,
+    READ_YOUR_WRITES,
+    SESSION_GUARANTEES,
+    WRITES_FOLLOW_READS,
+    ClusterAuditReport,
+    SessionAuditReport,
+    SessionViolation,
+    check_sessions,
+)
+from repro.consistency.injection import (
+    Injection,
+    InjectionError,
+    inject_all,
+    inject_session_violation,
 )
 
 __all__ = [
@@ -28,4 +53,17 @@ __all__ = [
     "AtomicityViolation",
     "LinearizabilityChecker",
     "check_atomicity_by_tags",
+    "MONOTONIC_READS",
+    "MONOTONIC_WRITES",
+    "READ_YOUR_WRITES",
+    "WRITES_FOLLOW_READS",
+    "SESSION_GUARANTEES",
+    "ClusterAuditReport",
+    "SessionAuditReport",
+    "SessionViolation",
+    "check_sessions",
+    "Injection",
+    "InjectionError",
+    "inject_all",
+    "inject_session_violation",
 ]

@@ -19,7 +19,15 @@ READ = "read"
 
 @dataclass(frozen=True)
 class Operation:
-    """One client operation in a history."""
+    """One client operation in a history.
+
+    ``client_id`` names the physical client process that executed the
+    operation (unique per shard deployment); ``session`` is the logical
+    cross-object client identity threaded through the cluster layer, the
+    unit over which the session-consistency guarantees of
+    :mod:`repro.consistency.sessions` are checked.  Single-system
+    histories leave it ``None``.
+    """
 
     op_id: str
     client_id: str
@@ -29,6 +37,7 @@ class Operation:
     invoked_at: float = 0.0
     responded_at: Optional[float] = None
     tag: Any = None
+    session: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (READ, WRITE):
@@ -105,6 +114,14 @@ class History:
         seen: Dict[str, None] = {}
         for op in self._operations:
             seen.setdefault(op.object_id, None)
+        return list(seen)
+
+    def sessions(self) -> List[str]:
+        """Distinct (non-None) session ids in the history (insertion order)."""
+        seen: Dict[str, None] = {}
+        for op in self._operations:
+            if op.session is not None:
+                seen.setdefault(op.session, None)
         return list(seen)
 
     # -- well-formedness -------------------------------------------------------------

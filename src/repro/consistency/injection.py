@@ -1,0 +1,200 @@
+"""Fault injection for the session auditor.
+
+An auditor that has never caught anything is untrustworthy, so this
+module *perturbs* a real (or synthetic) history into one that violates a
+chosen session guarantee, proving the detector actually fires for every
+violation class.  Mutations only ever move *observed versions between
+operations of the same key* -- an operation's ``(object_id, value, tag)``
+triple is replaced wholesale by another same-key operation's -- so the
+injected history is exactly what a buggy implementation would have
+recorded (stale read served from a lagging shard, a write acknowledged
+with a recycled tag, ...), not an arbitrary corruption.
+
+Sites are searched deterministically (sessions and keys in sorted order,
+operations in invocation order), so a given history always yields the
+same injection.  A history with no eligible site for the requested class
+raises :class:`InjectionError`; dense keyed workloads (hot keys, mixed
+reads/writes per session) always have sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.consistency.history import History, Operation, READ, WRITE
+from repro.consistency.sessions import (
+    MONOTONIC_READS,
+    MONOTONIC_WRITES,
+    READ_YOUR_WRITES,
+    SESSION_GUARANTEES,
+    WRITES_FOLLOW_READS,
+    operation_version,
+    session_groups,
+    split_object_id,
+)
+
+
+class InjectionError(LookupError):
+    """The history has no eligible site for the requested violation."""
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One injected violation: the mutated history plus what was done."""
+
+    guarantee: str
+    description: str
+    history: History
+    #: Ids of the operations whose observed versions were rewritten.
+    mutated: Tuple[str, ...]
+    session: str
+    key: str
+
+
+def _key_versions(history: History, key: str) -> List[Operation]:
+    """Every tagged complete operation on ``key`` (any session), by version."""
+    ops = [op for op in history
+           if op.is_complete and op.tag is not None
+           and split_object_id(op.object_id)[0] == key]
+    ops.sort(key=lambda op: (operation_version(op), op.op_id))
+    return ops
+
+
+def _rebuild(history: History, replacements: Dict[str, Operation]) -> History:
+    return History(
+        [replacements.get(op.op_id, op) for op in history],
+        initial_value=history.initial_value,
+    )
+
+
+def _swap_versions(a: Operation, b: Operation) -> Dict[str, Operation]:
+    """Swap the observed ``(object_id, value, tag)`` of two operations."""
+    return {
+        a.op_id: dc_replace(a, object_id=b.object_id, value=b.value, tag=b.tag),
+        b.op_id: dc_replace(b, object_id=a.object_id, value=a.value, tag=a.tag),
+    }
+
+
+def _retag(op: Operation, donor: Operation) -> Dict[str, Operation]:
+    """Make ``op`` observe the version of ``donor`` (same key)."""
+    return {op.op_id: dc_replace(op, object_id=donor.object_id,
+                                 value=donor.value, tag=donor.tag)}
+
+
+def _ordered_pairs(ops: List[Operation], earlier_kind: str,
+                   later_kind: str) -> List[Tuple[Operation, Operation]]:
+    """Precedence-ordered same-group pairs with the requested kinds."""
+    pairs = []
+    for later in ops:
+        if later.kind != later_kind:
+            continue
+        for earlier in ops:
+            if earlier.kind == earlier_kind and earlier.precedes(later):
+                pairs.append((earlier, later))
+    return pairs
+
+
+def inject_session_violation(history: History, guarantee: str) -> Injection:
+    """Perturb ``history`` so it violates ``guarantee``.
+
+    The mutation targets the first eligible site in deterministic order;
+    the returned :class:`Injection` names the rewritten operations so a
+    test can assert the auditor blames exactly them.
+    """
+    if guarantee not in SESSION_GUARANTEES:
+        raise ValueError(f"unknown session guarantee {guarantee!r}")
+    # The auditor's own grouping: injection sites are, by construction,
+    # sites the auditor audits.
+    groups, _, _ = session_groups(history)
+    for (session, key), ops in sorted(groups.items()):
+        if guarantee == MONOTONIC_READS:
+            # Two ordered reads with distinct versions: swap what they saw,
+            # so the later read observes the older version.
+            for earlier, later in _ordered_pairs(ops, READ, READ):
+                if operation_version(earlier) < operation_version(later):
+                    return Injection(
+                        guarantee=guarantee,
+                        description=(f"swapped the versions read by "
+                                     f"{earlier.op_id} and {later.op_id}"),
+                        history=_rebuild(history, _swap_versions(earlier, later)),
+                        mutated=(earlier.op_id, later.op_id),
+                        session=session, key=key,
+                    )
+        elif guarantee == MONOTONIC_WRITES:
+            # Two ordered writes: swap their effect versions, so the later
+            # write lands below the earlier one.
+            for earlier, later in _ordered_pairs(ops, WRITE, WRITE):
+                if operation_version(earlier) < operation_version(later):
+                    return Injection(
+                        guarantee=guarantee,
+                        description=(f"swapped the versions written by "
+                                     f"{earlier.op_id} and {later.op_id}"),
+                        history=_rebuild(history, _swap_versions(earlier, later)),
+                        mutated=(earlier.op_id, later.op_id),
+                        session=session, key=key,
+                    )
+        elif guarantee == READ_YOUR_WRITES:
+            # A session write followed by a session read: demote the read
+            # to a version older than the write (a stale replica answer).
+            for earlier, later in _ordered_pairs(ops, WRITE, READ):
+                donor = _version_below(history, key, operation_version(earlier))
+                if donor is not None:
+                    return Injection(
+                        guarantee=guarantee,
+                        description=(f"demoted read {later.op_id} to the "
+                                     f"stale version of {donor.op_id}"),
+                        history=_rebuild(history, _retag(later, donor)),
+                        mutated=(later.op_id,),
+                        session=session, key=key,
+                    )
+        else:  # WRITES_FOLLOW_READS
+            # A session read followed by a session write: promote the read
+            # to a version newer than the write, so the write no longer
+            # follows what the session had read.
+            for earlier, later in _ordered_pairs(ops, READ, WRITE):
+                donor = _version_above(history, key, operation_version(later))
+                if donor is not None:
+                    return Injection(
+                        guarantee=guarantee,
+                        description=(f"promoted read {earlier.op_id} to the "
+                                     f"future version of {donor.op_id}"),
+                        history=_rebuild(history, _retag(earlier, donor)),
+                        mutated=(earlier.op_id,),
+                        session=session, key=key,
+                    )
+    raise InjectionError(
+        f"no eligible site for a {guarantee} violation: the history needs a "
+        "session with precedence-ordered operations (and a same-key donor "
+        "version) of the required kinds"
+    )
+
+
+def _version_below(history: History, key: str,
+                   bound: Tuple) -> Optional[Operation]:
+    for op in _key_versions(history, key):
+        if operation_version(op) < bound:
+            return op
+    return None
+
+
+def _version_above(history: History, key: str,
+                   bound: Tuple) -> Optional[Operation]:
+    for op in reversed(_key_versions(history, key)):
+        if operation_version(op) > bound:
+            return op
+    return None
+
+
+def inject_all(history: History) -> Dict[str, Injection]:
+    """One injection per guarantee class (raises if any class has no site)."""
+    return {guarantee: inject_session_violation(history, guarantee)
+            for guarantee in SESSION_GUARANTEES}
+
+
+__all__ = [
+    "Injection",
+    "InjectionError",
+    "inject_all",
+    "inject_session_violation",
+]

@@ -40,9 +40,15 @@ class AtomicityViolation:
 # ---------------------------------------------------------------------------
 
 def _tag_order(op_a: Operation, op_b: Operation) -> bool:
-    """The partial order ``op_a < op_b`` from the paper's atomicity proof."""
+    """The partial order ``op_a < op_b`` from the paper's atomicity proof.
+
+    Operations without a tag have not been linearized by the
+    implementation (incomplete, or dropped); they are unordered with
+    respect to everything rather than an error, so a raw recorder history
+    can never crash the checker.
+    """
     if op_a.tag is None or op_b.tag is None:
-        raise ValueError("tag-based checking requires every operation to carry a tag")
+        return False
     if op_a.tag < op_b.tag:
         return True
     if op_a.tag == op_b.tag:
@@ -53,10 +59,13 @@ def _tag_order(op_a: Operation, op_b: Operation) -> bool:
 def check_atomicity_by_tags(history: History) -> Optional[AtomicityViolation]:
     """Check atomicity using the implementation-provided tags.
 
-    Only completed operations are considered (the paper's Lemma 13.16
-    assumes all invoked operations complete; incomplete operations are
-    allowed to be dropped when they are writes that no later operation
-    depends on -- the checker treats them as not-yet-linearized).
+    The checker drops incomplete operations itself (the paper's
+    Lemma 13.16 assumes all invoked operations complete; an invoked-but-
+    unfinished operation is not yet linearized and is allowed to be
+    dropped), so callers may pass histories straight from the recorder --
+    pre-filtering with ``history.complete()`` is unnecessary.  A *completed*
+    operation without a tag is still a violation: the implementation
+    responded without linearizing it.
 
     Returns ``None`` when the history satisfies properties P1-P3, or an
     :class:`AtomicityViolation` describing the first problem found.

@@ -29,6 +29,7 @@ from repro.cluster.deployment import ShardedCluster, seeded_latency_factory
 from repro.cluster.repair import GAVE_UP
 from repro.consistency.history import History
 from repro.consistency.linearizability import AtomicityViolation
+from repro.consistency.sessions import ClusterAuditReport, check_sessions
 from repro.core.config import LDSConfig
 from repro.net.latency import LatencyRegime
 from repro.sim.kernel import GlobalScheduler, KernelStats
@@ -129,12 +130,16 @@ class ClusterSimulation:
     # -- the keyed driving API (KeyedDrivableSystem) ----------------------------------
 
     def invoke_write(self, key: str, value: bytes, writer=0,
-                     at: Optional[float] = None) -> str:
-        return self.cluster.invoke_write(key, value, writer=writer, at=at)
+                     at: Optional[float] = None,
+                     session: Optional[str] = None) -> str:
+        return self.cluster.invoke_write(key, value, writer=writer, at=at,
+                                         session=session)
 
     def invoke_read(self, key: str, reader=0,
-                    at: Optional[float] = None) -> str:
-        return self.cluster.invoke_read(key, reader=reader, at=at)
+                    at: Optional[float] = None,
+                    session: Optional[str] = None) -> str:
+        return self.cluster.invoke_read(key, reader=reader, at=at,
+                                        session=session)
 
     def flush_key(self, key: str) -> int:
         return self.cluster.flush_key(key)
@@ -152,6 +157,22 @@ class ClusterSimulation:
 
     def check_atomicity(self) -> Optional[AtomicityViolation]:
         return self.cluster.check_atomicity()
+
+    def audit(self) -> ClusterAuditReport:
+        """The post-run correctness verdict of the whole simulation.
+
+        Combines the per-epoch atomicity check (the paper's per-object
+        guarantee) with the cross-shard session audit over the merged
+        global-clock history (monotonic reads / monotonic writes /
+        read-your-writes / writes-follow-reads per logical client session).
+        Every shipped scenario is expected to audit clean; see
+        :mod:`repro.consistency.injection` for proving the auditor's
+        detection power.
+        """
+        return ClusterAuditReport(
+            atomicity=self.check_atomicity(),
+            sessions=check_sessions(self.history(global_clock=True)),
+        )
 
     def operation_cost(self, handle: str) -> float:
         return self.cluster.operation_cost(handle)

@@ -250,7 +250,12 @@ def flash_crowd(keys, *, seed: int = 0, operations: int = 120,
     )
     crowd = Workload(description=crowd_raw.description + " (crowd clients)")
     for operation in crowd_raw.operations:
-        crowd.add(dc_replace(operation, client_index=operation.client_index + 1))
+        # The crowd is a distinct client population: shift it onto the
+        # second per-shard client slot and give it its own explicit session
+        # identity so the session auditor tracks calm and crowd clients as
+        # separate logical sessions.
+        crowd.add(dc_replace(operation, client_index=operation.client_index + 1,
+                             session=f"crowd-{operation.client_index + 1}"))
     return Scenario(
         name="flash-crowd",
         description=(f"zipf skew shifts s={s_before:g} -> s={s_after:g} at "

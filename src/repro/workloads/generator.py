@@ -17,6 +17,10 @@ class ScheduledOperation:
     ``client_index`` selects the writer or reader within the target system
     (writers and readers are indexed separately).  ``key`` names the target
     object for cluster (router) workloads; single-object systems ignore it.
+    ``session`` optionally names the logical client *session* the operation
+    belongs to -- the cross-key, cross-shard identity the session auditor
+    (:mod:`repro.consistency.sessions`) groups by.  When left ``None``, the
+    cluster entry points stamp the default :attr:`session_id`.
     """
 
     kind: str
@@ -24,6 +28,7 @@ class ScheduledOperation:
     client_index: int = 0
     value: Optional[bytes] = None
     key: Optional[str] = None
+    session: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (READ, WRITE):
@@ -32,6 +37,14 @@ class ScheduledOperation:
             raise ValueError("operations cannot be scheduled in the past")
         if self.kind == WRITE and self.value is None:
             raise ValueError("write operations need a value")
+
+    @property
+    def session_id(self) -> str:
+        """The operation's session identity (explicit, or the per-client
+        default pairing writer ``i`` and reader ``i`` as one logical client)."""
+        if self.session is not None:
+            return self.session
+        return f"client-{self.client_index}"
 
 
 @dataclass

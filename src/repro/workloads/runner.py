@@ -107,7 +107,7 @@ class WorkloadRunner:
         history = self.system.history()
         violation = None
         if self.check_atomicity:
-            violation = check_atomicity_by_tags(history.complete())
+            violation = check_atomicity_by_tags(history)
         return _assemble_report(self.system, history, violation, write_ops, read_ops)
 
 
@@ -120,9 +120,11 @@ class KeyedDrivableSystem(Protocol):
     """
 
     def invoke_write(self, key: str, value: bytes, writer=0,
-                     at: Optional[float] = None) -> str: ...
+                     at: Optional[float] = None,
+                     session: Optional[str] = None) -> str: ...
 
-    def invoke_read(self, key: str, reader=0, at: Optional[float] = None) -> str: ...
+    def invoke_read(self, key: str, reader=0, at: Optional[float] = None,
+                    session: Optional[str] = None) -> str: ...
 
     @property
     def kernel(self): ...
@@ -158,6 +160,13 @@ class KeyedWorkloadRunner:
     background repairs, migrations and other shards' traffic on one global
     clock.  Without a kernel the legacy batch-then-drain path runs,
     byte-for-byte compatible with previous releases.
+
+    On both paths every operation is stamped with its *session identity*
+    (:attr:`~repro.workloads.generator.ScheduledOperation.session_id` --
+    explicit, or the default pairing writer ``i`` and reader ``i`` as one
+    logical client), which the router preserves end to end into the merged
+    history so :func:`repro.consistency.sessions.check_sessions` can audit
+    per-client guarantees across keys and shards.
     """
 
     def __init__(self, system: "KeyedDrivableSystem",
@@ -189,18 +198,26 @@ class KeyedWorkloadRunner:
 
     def _inject_batches(self, workload: Workload, write_ops: List[str],
                         read_ops: List[str]) -> None:
-        """Legacy path: queue everything up front, one batch per shard."""
+        """Legacy path: queue everything up front, one batch per shard.
+
+        Operations are stamped with their session identity exactly like
+        kernel arrivals, so merged histories carry sessions on both paths
+        (the auditor itself still needs global-clock timestamps, which only
+        the kernel provides).
+        """
         for operation in workload.sorted_operations():
             self._require_key(operation)
             if operation.kind == WRITE:
                 handle = self.system.invoke_write(
                     operation.key, operation.value or b"",
                     writer=operation.client_index, at=operation.at,
+                    session=operation.session_id,
                 )
                 write_ops.append(handle)
             else:
                 handle = self.system.invoke_read(
                     operation.key, reader=operation.client_index, at=operation.at,
+                    session=operation.session_id,
                 )
                 read_ops.append(handle)
 

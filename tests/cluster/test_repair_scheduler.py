@@ -156,3 +156,26 @@ def test_tasks_complete_even_with_inflight_offloads(config):
     assert all(task.status == DONE for task in scheduler.tasks)
     for shard in router.shards_on_pool("pool-0"):
         assert shard.system.alive_l2_count() == config.n2
+
+
+def test_gave_up_dispatch_releases_slot_and_counts(config):
+    """Regression: a dispatch-time give-up must neither book a rate-limiter
+    slot (which would push every later repair out by min_interval) nor be
+    dropped from the gave_up statistic."""
+    from repro.cluster.repair import GAVE_UP, RepairTask
+
+    router, scheduler = build_cluster(config, min_interval=50.0)
+    ghost = RepairTask(key="no-such-key", node_id="pool-0/l2-0", l2_index=0,
+                       ready_at=1.0)
+    scheduler.tasks.append(ghost)
+    scheduler.stats.tasks_created += 1
+    scheduler._outstanding["pool-0/l2-0"] = 1
+    scheduler._dispatch(ghost)
+    assert ghost.status == GAVE_UP
+    assert ghost.scheduled_at is None, "a never-run task must not hold a slot time"
+    assert scheduler.stats.gave_up == 1
+    # The slot was not consumed: the first real repair of the same node
+    # still starts right after detection, not min_interval later.
+    router.membership.fail("pool-0/l2-0", time=0.0)
+    times = scheduler.scheduled_times()
+    assert times and times[0] < 50.0

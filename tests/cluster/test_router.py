@@ -161,3 +161,68 @@ class TestMigration:
         # The internal copy read is real traffic but not a workload read.
         assert len(router.history().reads()) == before_reads
         assert router.check_atomicity() is None
+
+
+class TestGlobalClockOffsets:
+    def test_pre_attach_epochs_are_backfilled_onto_the_global_timeline(
+            self, router):
+        """Regression: an epoch retired before attach_kernel must map onto
+        the global timeline via the backfilled offset -- strictly before
+        its successor epoch -- rather than being silently shifted by 0."""
+        from repro.cluster.placement import ShardMove
+        from repro.sim.kernel import GlobalScheduler
+
+        router.write("obj-0", b"v0")
+        source = router.shards["obj-0"].pool
+        target = next(p for p in router.membership.pools if p != source)
+        router.migrate(ShardMove(key="obj-0", source=source, target=target))
+        router.write("obj-0", b"v1")
+        router.attach_kernel(GlobalScheduler())
+        router.write("obj-0", b"v2")
+        history = router.history(global_clock=True)
+        epoch0 = [op for op in history if op.object_id == "obj-0"]
+        epoch1 = [op for op in history if op.object_id == "obj-0@e1"]
+        assert epoch0 and epoch1
+        assert (max(op.responded_at for op in epoch0)
+                <= min(op.invoked_at for op in epoch1))
+
+    def test_missing_offset_raises_instead_of_misplacing_the_epoch(
+            self, router):
+        from repro.sim.kernel import GlobalScheduler
+
+        router.attach_kernel(GlobalScheduler())
+        router.write("obj-0", b"x")
+        del router._kernel_offsets["obj-0"]
+        with pytest.raises(RuntimeError, match="offset"):
+            router.history(global_clock=True)
+
+
+class TestSessionThreading:
+    def test_sessions_attach_to_merged_history(self, router):
+        router.invoke_write("obj-0", b"a", session="alice")
+        router.invoke_read("obj-1", session="alice")
+        router.invoke_write("obj-2", b"b")
+        router.run_until_idle()
+        sessions = {op.object_id: op.session for op in router.history()}
+        assert sessions["obj-0"] == "alice"
+        assert sessions["obj-1"] == "alice"
+        assert sessions["obj-2"] is None
+
+    def test_sessions_survive_migration_archival(self, router):
+        from repro.cluster.placement import ShardMove
+
+        router.invoke_write("obj-0", b"x", session="s")
+        router.run_until_idle()
+        source = router.shards["obj-0"].pool
+        target = next(p for p in router.membership.pools if p != source)
+        router.migrate(ShardMove(key="obj-0", source=source, target=target))
+        [write_op] = router.history().writes()
+        assert write_op.session == "s"
+
+    def test_keys_colliding_with_epoch_suffix_are_rejected(self, router):
+        """A user key ending in '@e<n>' would make merged object ids (and
+        the session auditor's key/epoch parse) ambiguous."""
+        with pytest.raises(ValueError, match="reserved epoch suffix"):
+            router.write("sensor@e2", b"x")
+        router.write("sensor@exp", b"x")  # non-numeric suffix is a plain key
+        assert router.read("sensor@exp").value == b"x"

@@ -1,0 +1,84 @@
+"""The violation-injection harness proves the session auditor detects
+every guarantee class it claims to check."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.history import History, Operation, READ, WRITE
+from repro.consistency.injection import (
+    InjectionError,
+    inject_all,
+    inject_session_violation,
+)
+from repro.consistency.sessions import SESSION_GUARANTEES, check_sessions
+
+
+def op(op_id, kind, invoked, responded, *, obj="k", tag=None, value=None,
+       session="s1", client="c"):
+    return Operation(op_id=op_id, client_id=client, kind=kind, object_id=obj,
+                     value=value, invoked_at=invoked, responded_at=responded,
+                     tag=tag, session=session)
+
+
+@pytest.fixture
+def clean_history() -> History:
+    """A clean session history dense enough to host every injection site."""
+    return History([
+        op("w1", WRITE, 0, 1, tag=1, value=b"a"),
+        op("r1", READ, 2, 3, tag=1, value=b"a"),
+        op("w2", WRITE, 4, 5, tag=2, value=b"b"),
+        op("r2", READ, 6, 7, tag=2, value=b"b"),
+        op("w3", WRITE, 8, 9, tag=3, value=b"c"),
+        op("r3", READ, 10, 11, tag=3, value=b"c"),
+    ])
+
+
+class TestInjectionDetection:
+    @pytest.mark.parametrize("guarantee", SESSION_GUARANTEES)
+    def test_each_class_is_injected_and_detected(self, clean_history, guarantee):
+        assert check_sessions(clean_history).ok, "fixture must start clean"
+        injection = inject_session_violation(clean_history, guarantee)
+        assert injection.guarantee == guarantee
+        report = check_sessions(injection.history)
+        flagged = report.for_guarantee(guarantee)
+        assert flagged, f"auditor missed the injected {guarantee} violation"
+        # The auditor blames the mutated operations themselves.
+        assert any(set(injection.mutated) & set(v.operations) for v in flagged)
+
+    def test_inject_all_covers_every_guarantee(self, clean_history):
+        injections = inject_all(clean_history)
+        assert set(injections) == set(SESSION_GUARANTEES)
+
+    def test_original_history_is_untouched(self, clean_history):
+        before = [(o.op_id, o.tag, o.object_id) for o in clean_history]
+        inject_all(clean_history)
+        after = [(o.op_id, o.tag, o.object_id) for o in clean_history]
+        assert before == after
+
+    def test_injection_is_deterministic(self, clean_history):
+        for guarantee in SESSION_GUARANTEES:
+            first = inject_session_violation(clean_history, guarantee)
+            second = inject_session_violation(clean_history, guarantee)
+            assert first.mutated == second.mutated
+            assert first.description == second.description
+
+
+class TestEligibility:
+    def test_unknown_guarantee_rejected(self, clean_history):
+        with pytest.raises(ValueError):
+            inject_session_violation(clean_history, "bounded-staleness")
+
+    def test_empty_history_has_no_sites(self):
+        with pytest.raises(InjectionError):
+            inject_session_violation(History(), "monotonic-reads")
+
+    def test_single_version_history_has_no_read_site(self):
+        # Two reads of the same version cannot be perturbed into a
+        # monotonic-reads violation by moving versions around.
+        history = History([
+            op("r1", READ, 0, 1, tag=1),
+            op("r2", READ, 2, 3, tag=1),
+        ])
+        with pytest.raises(InjectionError):
+            inject_session_violation(history, "monotonic-reads")

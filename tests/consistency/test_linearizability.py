@@ -170,3 +170,27 @@ class TestSearchChecker:
     def test_is_linearizable_convenience(self):
         history = History([op("r1", READ, 0, 1, value=b"init")], initial_value=b"init")
         assert LinearizabilityChecker().is_linearizable(history)
+
+
+class TestIncompleteOperations:
+    """The checker owns the drop-incomplete semantics: raw recorder
+    histories (pending operations carry no tag) must be checkable without
+    pre-filtering and without crashing."""
+
+    def test_raw_history_with_pending_write_passes(self):
+        history = History([
+            op("w1", WRITE, 0, 1, value=b"a", tag=Tag(1, "w0")),
+            op("r1", READ, 2, 3, value=b"a", tag=Tag(1, "w0")),
+            Operation(op_id="w2", client_id="w2", kind=WRITE,
+                      object_id="object-0", value=b"b", invoked_at=4,
+                      responded_at=None, tag=None),
+        ], initial_value=b"init")
+        assert check_atomicity_by_tags(history) is None
+
+    def test_tag_order_treats_untagged_ops_as_unordered(self):
+        from repro.consistency.linearizability import _tag_order
+
+        tagged = op("w1", WRITE, 0, 1, value=b"a", tag=Tag(1, "w0"))
+        untagged = op("w2", WRITE, 2, 3, value=b"b", tag=None)
+        assert not _tag_order(tagged, untagged)
+        assert not _tag_order(untagged, tagged)

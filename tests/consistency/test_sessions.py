@@ -1,0 +1,200 @@
+"""The cross-shard session auditor on handcrafted histories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency.history import History, Operation, READ, WRITE
+from repro.consistency.sessions import (
+    MONOTONIC_READS,
+    MONOTONIC_WRITES,
+    READ_YOUR_WRITES,
+    SESSION_GUARANTEES,
+    WRITES_FOLLOW_READS,
+    check_sessions,
+    operation_version,
+    split_object_id,
+)
+
+
+def op(op_id, kind, invoked, responded, *, obj="k", tag=None, value=None,
+       session="s1", client="c"):
+    return Operation(op_id=op_id, client_id=client, kind=kind, object_id=obj,
+                     value=value, invoked_at=invoked, responded_at=responded,
+                     tag=tag, session=session)
+
+
+class TestObjectIdParsing:
+    def test_plain_key_is_epoch_zero(self):
+        assert split_object_id("user:42") == ("user:42", 0)
+
+    def test_epoch_suffix_parsed(self):
+        assert split_object_id("user:42@e3") == ("user:42", 3)
+
+    def test_non_numeric_suffix_is_part_of_the_key(self):
+        assert split_object_id("user@exp") == ("user@exp", 0)
+
+    def test_version_orders_epochs_before_tags(self):
+        old = op("r1", READ, 0, 1, obj="k", tag=99)
+        new = op("r2", READ, 2, 3, obj="k@e1", tag=0)
+        assert operation_version(old) < operation_version(new)
+
+
+class TestCleanHistories:
+    def test_empty_history_is_ok(self):
+        report = check_sessions(History())
+        assert report.ok and report.sessions_checked == 0
+
+    def test_single_session_single_key_progression(self):
+        history = History([
+            op("w1", WRITE, 0, 1, tag=1, value=b"a"),
+            op("r1", READ, 2, 3, tag=1, value=b"a"),
+            op("w2", WRITE, 4, 5, tag=2, value=b"b"),
+            op("r2", READ, 6, 7, tag=2, value=b"b"),
+        ])
+        report = check_sessions(history)
+        assert report.ok
+        assert report.sessions_checked == 1
+        assert report.operations_checked == 4
+        # Each op is checked against the running max prior write/read:
+        # r1 vs {w1}; w2 vs {w1, r1}; r2 vs {w2, r1}.
+        assert report.pairs_checked == 5
+
+    def test_concurrent_operations_are_unconstrained(self):
+        # The overlapping read may return the older version: no precedence.
+        history = History([
+            op("w1", WRITE, 0, 10, tag=5, value=b"new"),
+            op("r1", READ, 5, 12, tag=1, value=b"old"),
+        ])
+        assert check_sessions(history).ok
+
+    def test_different_keys_are_independent(self):
+        history = History([
+            op("w1", WRITE, 0, 1, obj="a", tag=9, value=b"x"),
+            op("r1", READ, 2, 3, obj="b", tag=1, value=b"y"),
+        ])
+        assert check_sessions(history).ok
+
+    def test_different_sessions_are_independent(self):
+        history = History([
+            op("r1", READ, 0, 1, tag=5, session="s1"),
+            op("r2", READ, 2, 3, tag=1, session="s2"),
+        ])
+        assert check_sessions(history).ok
+
+    def test_migration_epoch_reset_is_not_a_regression(self):
+        # Tags restart in a new epoch; the epoch component keeps the
+        # version order monotone across the migration boundary.
+        history = History([
+            op("w1", WRITE, 0, 1, obj="k", tag=7, value=b"a"),
+            op("r1", READ, 2, 3, obj="k", tag=7, value=b"a"),
+            op("r2", READ, 10, 11, obj="k@e1", tag=0, value=b"a"),
+            op("w2", WRITE, 12, 13, obj="k@e1", tag=1, value=b"b"),
+        ])
+        assert check_sessions(history).ok
+
+
+class TestViolationDetection:
+    def test_monotonic_reads(self):
+        history = History([
+            op("r1", READ, 0, 1, tag=5),
+            op("r2", READ, 2, 3, tag=3),
+        ])
+        report = check_sessions(history)
+        [violation] = report.violations
+        assert violation.guarantee == MONOTONIC_READS
+        assert violation.operations == ("r1", "r2")
+        assert violation.session == "s1" and violation.key == "k"
+
+    def test_monotonic_writes(self):
+        history = History([
+            op("w1", WRITE, 0, 1, tag=5, value=b"a"),
+            op("w2", WRITE, 2, 3, tag=5, value=b"b"),  # duplicate version
+        ])
+        report = check_sessions(history)
+        [violation] = report.violations
+        assert violation.guarantee == MONOTONIC_WRITES
+
+    def test_read_your_writes(self):
+        history = History([
+            op("w1", WRITE, 0, 1, tag=5, value=b"new"),
+            op("r1", READ, 2, 3, tag=2, value=b"old"),
+        ])
+        report = check_sessions(history)
+        [violation] = report.violations
+        assert violation.guarantee == READ_YOUR_WRITES
+
+    def test_writes_follow_reads(self):
+        history = History([
+            op("r1", READ, 0, 1, tag=5),
+            op("w1", WRITE, 2, 3, tag=4, value=b"x"),
+        ])
+        report = check_sessions(history)
+        [violation] = report.violations
+        assert violation.guarantee == WRITES_FOLLOW_READS
+
+    def test_epoch_regression_across_migration_is_detected(self):
+        # A read that lands back in the old epoch's versions after the
+        # session already observed the new epoch.
+        history = History([
+            op("r1", READ, 0, 1, obj="k@e1", tag=0),
+            op("r2", READ, 2, 3, obj="k", tag=99),
+        ])
+        report = check_sessions(history)
+        assert report.for_guarantee(MONOTONIC_READS)
+
+    def test_every_offending_operation_reported_not_just_the_first(self):
+        history = History([
+            op("r1", READ, 0, 1, tag=5),
+            op("r2", READ, 2, 3, tag=3),
+            op("r3", READ, 4, 5, tag=1),
+        ])
+        report = check_sessions(history)
+        violations = report.for_guarantee(MONOTONIC_READS)
+        # Both regressing reads are blamed against the strongest witness r1.
+        assert [v.operations for v in violations] == [("r1", "r2"), ("r1", "r3")]
+        assert str(report.violations[0])  # human-readable rendering
+
+    def test_report_describe_mentions_violations(self):
+        history = History([
+            op("r1", READ, 0, 1, tag=5),
+            op("r2", READ, 2, 3, tag=3),
+        ])
+        assert "violation" in check_sessions(history).describe()
+
+
+class TestSkipping:
+    def test_unsessioned_operations_are_skipped(self):
+        history = History([
+            op("r1", READ, 0, 1, tag=5, session=None),
+            op("r2", READ, 2, 3, tag=3, session=None),
+        ])
+        report = check_sessions(history)
+        assert report.ok
+        assert report.unsessioned_skipped == 2
+
+    def test_incomplete_and_untagged_operations_are_skipped(self):
+        history = History([
+            op("w1", WRITE, 0, None, tag=None, value=b"a"),  # incomplete
+            op("r1", READ, 2, 3, tag=None),  # responded but unlinearized
+            op("r2", READ, 4, 5, tag=1),
+        ])
+        report = check_sessions(history)
+        assert report.ok
+        assert report.unlinearized_skipped == 2
+        assert report.operations_checked == 1
+
+
+class TestHistorySessions:
+    def test_sessions_helper_lists_distinct_non_none(self):
+        history = History([
+            op("r1", READ, 0, 1, tag=1, session="a"),
+            op("r2", READ, 2, 3, tag=1, session=None),
+            op("r3", READ, 4, 5, tag=1, session="b"),
+            op("r4", READ, 6, 7, tag=1, session="a"),
+        ])
+        assert history.sessions() == ["a", "b"]
+
+
+def test_guarantee_constants_are_distinct():
+    assert len(set(SESSION_GUARANTEES)) == 4

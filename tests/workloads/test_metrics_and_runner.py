@@ -72,3 +72,22 @@ class TestRunnerWithBaselines:
         # ABD write cost is n, read cost up to 2n.
         assert report.mean_write_cost == pytest.approx(5.0)
         assert report.mean_read_cost >= 5.0
+
+
+class TestKeyedRunnerSessions:
+    def test_legacy_batch_path_stamps_sessions(self):
+        """Without a kernel the runner still stamps every operation's
+        session identity, so merged histories carry sessions on both
+        execution paths."""
+        from repro.cluster.deployment import ShardedCluster
+        from repro.workloads.runner import KeyedWorkloadRunner
+
+        cluster = ShardedCluster(LDSConfig(n1=3, n2=4, f1=1, f2=1),
+                                 ["pool-0", "pool-1"], seed=5)
+        generator = WorkloadGenerator(seed=5, client_spacing=60.0)
+        workload = generator.keyed_random([f"k{i}" for i in range(4)],
+                                          12, 0.5, 300.0)
+        report = KeyedWorkloadRunner(cluster).run(workload)
+        assert report.is_atomic
+        assert len(report.history) == 12
+        assert all(op.session == "client-0" for op in report.history)

@@ -4,10 +4,12 @@ Drives the same seeded Zipf keyed workload through both execution backends
 and reports wall-clock time, simulated events per second, and the kernel's
 cross-shard interleaving rate.  The legacy loop runs each shard's queue to
 quiescence in turn (no cross-shard timing, but perfect batch locality);
-the global kernel merges every queue onto one clock, paying one O(#sources)
-scan per event for genuine interleaving.  The benchmark quantifies that
-fidelity-for-throughput trade so experiment authors can pick a backend
-deliberately.
+the global kernel merges every queue onto one clock.  Head selection is an
+invalidation-tolerant heap over source head times (O(log S) per event; it
+used to be an O(S) scan per event), so the kernel's overhead stays flat as
+pools -- and with them registered event sources -- multiply.  The pool
+sweep at a fixed operation count is the regression signal for that: the
+kernel/legacy wall ratio must not grow with the source count.
 
 There is no paper analogue; this characterises the simulation engine itself.
 """
@@ -26,68 +28,88 @@ from repro import (
     WorkloadGenerator,
 )
 
-NUM_KEYS = 32
 DURATION = 400.0
 SEED = 23
-POOLS = [f"pool-{i}" for i in range(3)]
 
 
-def _workload(num_operations: int):
+def _pools(count: int):
+    return [f"pool-{i}" for i in range(count)]
+
+
+def _workload(num_keys: int, num_operations: int):
     generator = WorkloadGenerator(seed=SEED, client_spacing=60.0)
     return generator.zipf_keyed(
-        [f"obj-{i}" for i in range(NUM_KEYS)],
+        [f"obj-{i}" for i in range(num_keys)],
         num_operations, write_fraction=0.4, duration=DURATION, s=1.2,
     )
 
 
-def _run_legacy(num_operations: int):
+def _run_legacy(pools: int, num_keys: int, num_operations: int):
     config = LDSConfig(n1=3, n2=4, f1=1, f2=1)
-    cluster = ShardedCluster(config, POOLS, seed=SEED)
+    cluster = ShardedCluster(config, _pools(pools), seed=SEED)
     started = time.perf_counter()
-    report = KeyedWorkloadRunner(cluster.router).run(_workload(num_operations))
+    report = KeyedWorkloadRunner(cluster.router).run(
+        _workload(num_keys, num_operations))
     wall = time.perf_counter() - started
     events = sum(shard.system.simulator.events_processed
                  for shard in cluster.router.shards.values())
     assert report.is_atomic
     return {"wall": wall, "events": events, "switch_rate": 0.0,
-            "mean_batch": cluster.router_stats.mean_batch_size}
+            "sources": len(cluster.router.shards)}
 
 
-def _run_kernel(num_operations: int):
+def _run_kernel(pools: int, num_keys: int, num_operations: int):
     config = LDSConfig(n1=3, n2=4, f1=1, f2=1)
-    simulation = ClusterSimulation(config, POOLS, seed=SEED)
+    simulation = ClusterSimulation(config, _pools(pools), seed=SEED)
     started = time.perf_counter()
-    report = KeyedWorkloadRunner(simulation).run(_workload(num_operations))
+    report = KeyedWorkloadRunner(simulation).run(
+        _workload(num_keys, num_operations))
     wall = time.perf_counter() - started
     assert report.is_atomic
     return {"wall": wall, "events": simulation.kernel.events_processed,
             "switch_rate": simulation.interleaving.switch_rate,
-            "mean_batch": simulation.router.stats.mean_batch_size}
+            "sources": len(simulation.kernel.sources())}
 
 
 def test_bench_event_pump():
+    # Shards (event sources) scale with the cluster: 8 keys per pool, one
+    # fixed per-shard load.  Under the old O(S)-scan head selection the
+    # kernel/legacy wall ratio grew with the source count (measured 1.20x
+    # at 3 pools / 24 sources -> 1.32x at 12 pools / 77 sources); with the
+    # heap it must stay flat.
     rows = []
-    for num_operations in (96, 192, 384):
-        legacy = _run_legacy(num_operations)
-        kernel = _run_kernel(num_operations)
+    ratios = {}
+    for pools in (3, 8, 12):
+        num_keys = 8 * pools
+        num_operations = 6 * num_keys
+        legacy = _run_legacy(pools, num_keys, num_operations)
+        kernel = _run_kernel(pools, num_keys, num_operations)
         for backend, run in (("legacy-loop", legacy), ("global-kernel", kernel)):
             rows.append((
+                pools,
+                num_keys,
                 num_operations,
                 backend,
+                run["sources"],
                 f"{run['wall'] * 1e3:.1f}",
                 run["events"],
                 f"{run['events'] / run['wall']:,.0f}",
                 f"{run['switch_rate']:.2f}",
-                f"{run['mean_batch']:.1f}",
             ))
-        slowdown = kernel["wall"] / legacy["wall"]
-        rows.append((num_operations, "kernel/legacy wall",
-                     f"{slowdown:.2f}x", "", "", "", ""))
+        ratios[pools] = kernel["wall"] / legacy["wall"]
+        rows.append((pools, num_keys, num_operations, "kernel/legacy wall",
+                     "", f"{ratios[pools]:.2f}x", "", "", ""))
 
     emit_table(
         "event_pump",
-        "global kernel vs legacy per-shard idle loop",
-        ["ops", "backend", "wall ms", "sim events", "events/s",
-         "switch rate", "mean batch"],
+        "global kernel vs legacy idle loop (O(log S) heap head selection)",
+        ["pools", "keys", "ops", "backend", "sources", "wall ms",
+         "sim events", "events/s", "switch rate"],
         rows,
     )
+
+    # Loose sanity bound only: single-sample wall-clock ratios are noisy
+    # on shared CI runners, so the table above is the real regression
+    # signal; this assertion only catches a gross (2x-class) blow-up of
+    # the kernel's per-event overhead at the largest source count.
+    assert ratios[12] <= 2.0

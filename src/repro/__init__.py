@@ -19,7 +19,8 @@ with every substrate it depends on:
 * ``repro.workloads`` -- workload generation and measurement;
 * ``repro.cluster`` -- the scale-out layer: consistent-hash placement of
   object shards onto server pools, a keyed object router fanning out to
-  per-shard LDS instances, and rate-limited background repair;
+  per-shard LDS instances, rate-limited background repair, and r-way
+  replica groups with pluggable read routing and pool-loss failover;
 * ``repro.sim`` -- the global-clock simulation kernel: one merged event
   pump over every per-shard simulator, a declarative scenario engine, and
   the :class:`ClusterSimulation` harness for cross-shard timing
@@ -79,7 +80,9 @@ from repro.cluster import (
     ObjectRouter,
     RebalancePlan,
     RepairScheduler,
+    ReplicationConfig,
     ShardedCluster,
+    make_read_policy,
 )
 from repro.sim import (
     ClusterSimulation,
@@ -128,6 +131,8 @@ __all__ = [
     "ObjectRouter",
     "RebalancePlan",
     "RepairScheduler",
+    "ReplicationConfig",
+    "make_read_policy",
     "ShardedCluster",
     "GlobalScheduler",
     "ClusterSimulation",

@@ -16,16 +16,23 @@ serve millions of objects:
   per-shard operation batching;
 * :mod:`repro.cluster.repair` -- :class:`RepairScheduler`, rate-limited
   background L2 repairs driven by failure events;
+* :mod:`repro.cluster.replicas` -- :class:`ReplicaCoordinator`, the
+  replica-group layer: r-way placement via ``HashRing.nodes_for``,
+  follower stores fed by kernel-scheduled replication lag, pluggable
+  read-routing policies, and deterministic failover on pool loss;
 * :mod:`repro.cluster.deployment` -- :class:`ShardedCluster`, the facade
   wiring all of the above together.
 """
 
 from repro.cluster.ring import HashRing, RingBalance, derive_seed, stable_hash
 from repro.cluster.placement import (
+    FollowerChange,
     RebalancePlan,
     ShardMove,
     diff_placements,
+    diff_replica_placements,
     placement_of,
+    replica_placement_of,
 )
 from repro.cluster.membership import (
     ClusterNode,
@@ -34,6 +41,18 @@ from repro.cluster.membership import (
 )
 from repro.cluster.router import ObjectRouter, RouterStats, Shard
 from repro.cluster.repair import RepairScheduler, RepairStats, RepairTask
+from repro.cluster.replicas import (
+    FollowerStore,
+    LeastLoadedPolicy,
+    NearestPolicy,
+    PrimaryOnlyPolicy,
+    ReadRoutingPolicy,
+    ReplicaCoordinator,
+    ReplicaGroup,
+    ReplicationConfig,
+    RoundRobinPolicy,
+    make_read_policy,
+)
 from repro.cluster.deployment import ShardedCluster
 
 __all__ = [
@@ -41,10 +60,13 @@ __all__ = [
     "RingBalance",
     "derive_seed",
     "stable_hash",
+    "FollowerChange",
     "RebalancePlan",
     "ShardMove",
     "diff_placements",
+    "diff_replica_placements",
     "placement_of",
+    "replica_placement_of",
     "ClusterNode",
     "Membership",
     "MembershipEvent",
@@ -54,5 +76,15 @@ __all__ = [
     "RepairScheduler",
     "RepairStats",
     "RepairTask",
+    "FollowerStore",
+    "LeastLoadedPolicy",
+    "NearestPolicy",
+    "PrimaryOnlyPolicy",
+    "ReadRoutingPolicy",
+    "ReplicaCoordinator",
+    "ReplicaGroup",
+    "ReplicationConfig",
+    "RoundRobinPolicy",
+    "make_read_policy",
     "ShardedCluster",
 ]

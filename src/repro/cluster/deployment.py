@@ -12,11 +12,17 @@ automatic rebalancing, and cluster-wide inspection helpers).
 
 from __future__ import annotations
 
+from dataclasses import replace as dc_replace
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.cluster.membership import ClusterNode, Membership, MembershipEvent
 from repro.cluster.placement import RebalancePlan
 from repro.cluster.repair import RepairScheduler
+from repro.cluster.replicas import (
+    ReadRoutingPolicy,
+    ReplicaCoordinator,
+    ReplicationConfig,
+)
 from repro.cluster.ring import derive_seed
 from repro.cluster.router import ObjectRouter, RouterStats
 from repro.consistency.linearizability import AtomicityViolation
@@ -56,7 +62,9 @@ class ShardedCluster:
                  repair_max_concurrent: int = 1,
                  repair_detection_delay: float = 1.0,
                  repair_slot_jitter: float = 0.0,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 replication: Optional[ReplicationConfig] = None,
+                 read_policy: Union[str, ReadRoutingPolicy] = "primary") -> None:
         if not pool_names:
             raise ValueError("a cluster needs at least one pool")
         self.config = config
@@ -68,11 +76,19 @@ class ShardedCluster:
                                                n2=config.n2, vnodes=vnodes)
         if latency_factory is None and seed is not None:
             latency_factory = seeded_latency_factory(seed)
+        if replication is not None and seed is not None \
+                and replication.seed is None:
+            # Thread the root seed into replica distances / lag jitter
+            # unless the caller pinned one explicitly.
+            replication = dc_replace(replication,
+                                     seed=derive_seed(seed, "replicas"))
         self.router = ObjectRouter(
             config, self.membership,
             writers_per_shard=writers_per_shard,
             readers_per_shard=readers_per_shard,
             latency_factory=latency_factory,
+            replication=replication,
+            read_policy=read_policy,
         )
         self.repair = RepairScheduler(
             self.router,
@@ -131,9 +147,25 @@ class ShardedCluster:
 
     # -- membership operations ---------------------------------------------------------
 
+    @property
+    def replicas(self) -> Optional[ReplicaCoordinator]:
+        """The replica-group coordinator (None when replication is off)."""
+        return self.router.replicas
+
     def fail_node(self, node_id: str, time: float = 0.0) -> MembershipEvent:
         """Crash one pool node; the repair scheduler takes it from there."""
         return self.membership.fail(node_id, time=time)
+
+    def fail_pool(self, pool: str, time: float = 0.0) -> List[MembershipEvent]:
+        """Crash every alive node of a pool (correlated pool loss).
+
+        The kill is atomic at the membership level (every listener sees
+        the pool already down); with replica groups that is the signal
+        driving primary failover and follower re-provisioning (see
+        :mod:`repro.cluster.replicas`).  Without replicas the pool's
+        shards simply stall until an administrator migrates them away.
+        """
+        return self.membership.fail_pool(pool, time=time)
 
     def add_pool(self, pool: str, time: float = 0.0,
                  weight: float = 1.0) -> RebalancePlan:

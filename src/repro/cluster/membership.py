@@ -147,6 +147,23 @@ class Membership:
         self._nodes[node_id] = replace(node, status=FAILED)
         return self._emit(FAIL, self._nodes[node_id], time, False)
 
+    def fail_pool(self, pool: str, time: float = 0.0) -> List[MembershipEvent]:
+        """Crash every alive node of a pool *atomically*.
+
+        All nodes flip to FAILED before the first event is delivered, so
+        every listener observes the pool as already down
+        (:meth:`pool_alive` is False) -- a correlated pool loss, not a
+        sequence of independent crashes.  Delivering the failures one by
+        one instead would let listeners react to a half-dead pool (e.g.
+        the repair scheduler declaring shard-less nodes instantly whole
+        while their neighbours are still alive).
+        """
+        victims = self.pool_nodes(pool, status=ALIVE)
+        for node in victims:
+            self._nodes[node.node_id] = replace(node, status=FAILED)
+        return [self._emit(FAIL, self._nodes[node.node_id], time, False)
+                for node in victims]
+
     def recover(self, node_id: str, time: float = 0.0) -> MembershipEvent:
         """Mark a failed node healthy again (called by the repair scheduler)."""
         node = self._require(node_id)
@@ -184,6 +201,16 @@ class Membership:
         if status is not None:
             nodes = [n for n in nodes if n.status == status]
         return sorted(nodes, key=lambda n: (n.role, n.index))
+
+    def pool_alive(self, pool: str) -> bool:
+        """True while the pool has at least one alive node.
+
+        A pool with *zero* alive nodes is **down**: it can serve nothing
+        and in-pool repair is impossible.  The replica layer treats the
+        transition to down as the primary-failure signal driving failover
+        (a merely degraded pool keeps serving and is repaired in place).
+        """
+        return any(n.status == ALIVE for n in self.pool_nodes(pool))
 
     def failed_nodes(self, pool: Optional[str] = None) -> List[ClusterNode]:
         """Every currently failed node (optionally restricted to one pool)."""

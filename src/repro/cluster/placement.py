@@ -24,6 +24,17 @@ def placement_of(ring: HashRing, keys: Iterable[str]) -> Dict[str, str]:
     return {key: ring.node_for(key) for key in keys}
 
 
+def replica_placement_of(ring: HashRing, keys: Iterable[str],
+                         r: int) -> Dict[str, List[str]]:
+    """The r-way replica placement the ring prescribes for ``keys``.
+
+    Element 0 of each list is the primary (identical to
+    :func:`placement_of`); the rest are the follower pools, in ring walk
+    order.  ``r`` is capped at the member count by ``nodes_for``.
+    """
+    return {key: ring.nodes_for(key, r) for key in keys}
+
+
 @dataclass(frozen=True)
 class ShardMove:
     """One shard migration: ``key`` moves from ``source`` pool to ``target``."""
@@ -37,15 +48,43 @@ class ShardMove:
             raise ValueError("a shard move needs distinct source and target pools")
 
 
+#: Follower-change actions in a replica-aware plan.
+ADD_FOLLOWER = "add"
+DROP_FOLLOWER = "drop"
+
+
+@dataclass(frozen=True)
+class FollowerChange:
+    """One follower-set adjustment of a replica-aware rebalance plan."""
+
+    key: str
+    pool: str
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.action not in (ADD_FOLLOWER, DROP_FOLLOWER):
+            raise ValueError(
+                f"follower change action must be '{ADD_FOLLOWER}' or "
+                f"'{DROP_FOLLOWER}'"
+            )
+
+
 @dataclass
 class RebalancePlan:
-    """An ordered, deterministic list of shard moves plus bookkeeping."""
+    """An ordered, deterministic list of shard moves plus bookkeeping.
+
+    With replica groups the plan additionally carries the follower-set
+    changes (``follower_changes``) that align each key's ``r``-way replica
+    set with the ring; primary relocations stay ordinary ``moves``.
+    """
 
     moves: List[ShardMove] = field(default_factory=list)
     #: Why the plan was generated (e.g. "join pool-4", "leave pool-1").
     reason: str = ""
     #: Virtual time at which the membership change happened.
     time: float = 0.0
+    #: Follower drops/adds (replica-aware plans only), sorted by key.
+    follower_changes: List[FollowerChange] = field(default_factory=list)
 
     @property
     def keys_moved(self) -> List[str]:
@@ -78,4 +117,50 @@ def diff_placements(before: Dict[str, str], after: Dict[str, str],
     return RebalancePlan(moves=moves, reason=reason, time=time)
 
 
-__all__ = ["ShardMove", "RebalancePlan", "placement_of", "diff_placements"]
+def diff_replica_placements(before: Dict[str, List[str]],
+                            after: Dict[str, List[str]],
+                            reason: str = "",
+                            time: float = 0.0) -> RebalancePlan:
+    """The replica-aware plan turning placement ``before`` into ``after``.
+
+    Placements map ``key -> [primary, follower, ...]``.  A changed primary
+    produces an ordinary :class:`ShardMove` (the migration machinery moves
+    the authoritative state); follower-set differences produce
+    :class:`FollowerChange` records -- note that a follower promoted to
+    primary by the move is *dropped* as a follower (its store is consumed
+    by the migration target's new epoch) and a demoted primary is *added*
+    (it must be re-seeded as a passive store).  Deterministic: keys and
+    pools are processed in sorted order.
+    """
+    moves: List[ShardMove] = []
+    changes: List[FollowerChange] = []
+    for key in sorted(before):
+        if key not in after or not before[key] or not after[key]:
+            continue
+        old_primary, new_primary = before[key][0], after[key][0]
+        if old_primary != new_primary:
+            moves.append(ShardMove(key=key, source=old_primary,
+                                   target=new_primary))
+        old_followers = set(before[key][1:])
+        new_followers = set(after[key][1:]) - {new_primary}
+        for pool in sorted(old_followers - new_followers):
+            changes.append(FollowerChange(key=key, pool=pool,
+                                          action=DROP_FOLLOWER))
+        for pool in sorted(new_followers - old_followers):
+            changes.append(FollowerChange(key=key, pool=pool,
+                                          action=ADD_FOLLOWER))
+    return RebalancePlan(moves=moves, reason=reason, time=time,
+                         follower_changes=changes)
+
+
+__all__ = [
+    "ADD_FOLLOWER",
+    "DROP_FOLLOWER",
+    "FollowerChange",
+    "RebalancePlan",
+    "ShardMove",
+    "diff_placements",
+    "diff_replica_placements",
+    "placement_of",
+    "replica_placement_of",
+]

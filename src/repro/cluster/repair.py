@@ -50,6 +50,11 @@ class RepairTask:
     l2_index: int
     #: Earliest virtual time the repair may start (failure time + detection).
     ready_at: float
+    #: Pool hosting the shard when the task was created.  A task whose
+    #: shard has since moved pools (migration or replica failover) repairs
+    #: nothing -- the degraded epoch is retired -- and gives up instead of
+    #: poking the unrelated replacement shard.
+    pool: Optional[str] = None
     scheduled_at: Optional[float] = None
     completed_at: Optional[float] = None
     attempts: int = 0
@@ -126,7 +131,8 @@ class RepairScheduler:
         created: List[RepairTask] = []
         for shard in shards:
             task = RepairTask(key=shard.key, node_id=node_id, l2_index=l2_index,
-                              ready_at=failed_at + self.detection_delay)
+                              ready_at=failed_at + self.detection_delay,
+                              pool=shard.pool)
             self.tasks.append(task)
             created.append(task)
             self.stats.tasks_created += 1
@@ -147,6 +153,7 @@ class RepairScheduler:
             task = RepairTask(
                 key=shard.key, node_id=node.node_id, l2_index=node.index,
                 ready_at=self.router.shard_now(shard) + self.detection_delay,
+                pool=shard.pool,
             )
             self.tasks.append(task)
             self.stats.tasks_created += 1
@@ -158,12 +165,18 @@ class RepairScheduler:
     # -- rate limiting ------------------------------------------------------------
 
     def _dispatch(self, task: RepairTask) -> None:
-        """Assign the earliest rate-limiter slot at or after ``ready_at``."""
+        """Assign the earliest rate-limiter slot at or after ``ready_at``.
+
+        Tasks already known doomed -- no shard, shard moved pools, or the
+        whole pool dead -- give up *before* booking a rate-limiter slot,
+        or each dead task would push every later (viable) repair's start
+        time out by ``min_interval``.  The same conditions are re-checked
+        at execution time because they can also become true afterwards.
+        """
         shard = self.router.shards.get(task.key)
-        if shard is None:
-            # Nothing left to repair here: give up *before* booking a
-            # rate-limiter slot, or the dead task would push every later
-            # repair's start time out by min_interval.
+        if shard is None or (task.pool is not None
+                             and shard.pool != task.pool) \
+                or not self.membership.pool_alive(shard.pool):
             task.status = GAVE_UP
             self.stats.gave_up += 1
             self._task_finished(task)
@@ -182,6 +195,22 @@ class RepairScheduler:
     def _execute(self, task: RepairTask) -> None:
         shard = self.router.shards.get(task.key)
         if shard is None:  # migrated away since scheduling
+            task.status = GAVE_UP
+            self.stats.gave_up += 1
+            self._task_finished(task)
+            return
+        if task.pool is not None and shard.pool != task.pool:
+            # The shard moved pools (migration, or a replica-group failover
+            # retired the degraded epoch): the replacement shard does not
+            # host the failed slot, so there is nothing left to repair.
+            task.status = GAVE_UP
+            self.stats.gave_up += 1
+            self._task_finished(task)
+            return
+        if not self.membership.pool_alive(shard.pool):
+            # In-pool regeneration needs live helper slots; a fully dead
+            # pool has none.  With replica groups the coordinator fails the
+            # shard over instead; either way this task cannot succeed.
             task.status = GAVE_UP
             self.stats.gave_up += 1
             self._task_finished(task)
@@ -242,8 +271,15 @@ class RepairScheduler:
             node = self.membership.node(node_id)
         except KeyError:
             return
-        if node.status == FAILED:
-            self.membership.recover(node_id, time=time)
+        if node.status != FAILED:
+            return
+        if not self.membership.pool_alive(node.pool):
+            # The whole pool is down (a correlated kill): its nodes are not
+            # "whole again" just because no shard data needed rebuilding.
+            # Bringing a dead pool back is an administrative action (or, with
+            # replica groups, the failover path replaces it entirely).
+            return
+        self.membership.recover(node_id, time=time)
 
     # -- inspection -------------------------------------------------------------------
 

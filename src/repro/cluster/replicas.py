@@ -1,0 +1,1019 @@
+"""Replica groups: r-way shard placement, read routing and failover.
+
+The base cluster places each key's shard on exactly **one** pool, so a
+pool failure makes its keys unavailable until an administrator migrates
+them.  This module adds the paper-scale answer to read-heavy traffic and
+pool loss: every key's shard is instantiated on ``r`` pools chosen by
+:meth:`~repro.cluster.ring.HashRing.nodes_for` -- the **primary** runs the
+full two-layer LDS protocol (and keeps the paper's per-object atomicity
+guarantee), while the ``r - 1`` **followers** are passive replica stores
+that learn each committed write through an explicit, kernel-scheduled
+*replication lag*.
+
+**Writes** always execute at the primary.  When a write completes there,
+the coordinator appends a :class:`ReplicaRecord` to the group's
+replication log and schedules one apply event per follower at
+``commit + replication_lag (+ jitter)`` on the global clock, so follower
+staleness is a first-class, simulated quantity rather than an accident of
+execution order.
+
+**Reads** are dispatched by a pluggable :class:`ReadRoutingPolicy`:
+
+* ``primary`` -- every read runs the full protocol read at the primary;
+* ``round-robin`` -- reads cycle deterministically over the group;
+* ``nearest`` -- reads go to the replica with the smallest seeded
+  *distance* (its effective service latency scales with the shared
+  :class:`~repro.net.latency.LatencyRegime`, so regime shifts slow
+  follower reads exactly like protocol traffic);
+* ``least-loaded`` -- reads go to the replica with the fewest in-flight
+  (then fewest served) reads.
+
+A follower read returns the follower's *applied* version, which may lag
+the primary -- safe for fresh sessions, dangerous for a session that has
+already seen something newer.  The coordinator therefore keeps a
+**session floor** (the highest ``(epoch, tag)`` version each logical
+session has observed per key, maintained from operation completions) and
+overrides any follower choice whose applied version is below the floor
+back to the primary.  That is exactly the discipline that keeps the
+cross-shard session auditor (:mod:`repro.consistency.sessions`) clean:
+with the guard disabled (``session_guard=False``) a lagging follower
+serves stale reads and the auditor provably reports them.
+
+**Failover.**  Node failures within a pool degrade redundancy and are
+repaired in the background as before.  When a pool loses its *last*
+alive node, the membership layer reports it down and every group whose
+primary lived there fails over deterministically:
+
+1. the group freezes primary-bound traffic (writes and primary reads
+   queue; follower reads keep serving -- the *degraded reads* window);
+2. after ``failover_detection_delay`` the first live follower is chosen
+   as successor and **catches up**: every logged record it has not yet
+   applied is applied now, charged ``catch_up_per_record`` time each;
+3. a fresh LDS instance (a new epoch, exactly like a migration epoch)
+   starts on the successor's pool seeded with the caught-up value, the
+   frozen operations flush into it, and a replacement follower is
+   provisioned on the next ring pool to restore ``r``-way redundancy.
+
+Because every acknowledged write is in the log and catch-up applies all
+of it, no acknowledged write is lost and the merged history stays
+atomic-at-the-primary and session-clean -- under fixed seeds the whole
+sequence is reproducible event for event.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.cluster.membership import FAIL, RECOVER, Membership, MembershipEvent
+from repro.cluster.placement import DROP_FOLLOWER
+from repro.cluster.ring import derive_seed
+from repro.consistency.history import History, Operation, READ, WRITE
+from repro.consistency.injection import REPLICA_CLIENT_PREFIX
+from repro.consistency.sessions import join_object_id
+from repro.core.results import OperationResult
+from repro.core.tags import INITIAL_TAG, Tag
+
+#: Replica-group states.
+NORMAL = "normal"
+FAILING_OVER = "failing-over"
+#: Terminal state: the primary died and no live follower remained.
+UNSERVICEABLE = "unserviceable"
+
+#: A replica version: the (migration epoch, protocol tag) pair, ordered
+#: lexicographically -- identical to the session auditor's versions.
+Version = Tuple[int, Tag]
+
+
+@dataclass(frozen=True)
+class ReplicationConfig:
+    """Tuning knobs of the replica-group subsystem.
+
+    ``r=1`` (the default) disables the subsystem entirely: the router
+    behaves exactly like the pre-replica cluster.
+    """
+
+    #: Replicas per key (primary + r-1 followers), capped at the pool count.
+    r: int = 1
+    #: Virtual time between a write committing at the primary and a
+    #: follower applying it.
+    replication_lag: float = 30.0
+    #: Extra, seeded per-(follower, record) apply delay in [0, lag_jitter).
+    lag_jitter: float = 0.0
+    #: Base service time of a follower read (scaled by the replica's
+    #: seeded distance and the shared latency regime).
+    follower_read_latency: float = 2.0
+    #: Time between a pool dying and its groups starting promotion.
+    failover_detection_delay: float = 10.0
+    #: Catch-up cost per unapplied log record during promotion.
+    catch_up_per_record: float = 1.0
+    #: Delay before a replacement follower is seeded on a new pool.
+    provision_delay: float = 25.0
+    #: Normalised communication cost charged per follower read served.
+    follower_read_cost: float = 1.0
+    #: Normalised communication cost charged per record applied / copied.
+    replication_unit_cost: float = 1.0
+    #: Route a follower read back to the primary when the follower has
+    #: not applied the session's floor version yet.  Disabling this is a
+    #: *fault injection*: stale follower reads reach clients and the
+    #: session auditor must catch them.
+    session_guard: bool = True
+    #: Seed for replica distances and lag jitter (derive_seed'd per use).
+    #: None means unpinned: facades thread their root seed in; a bare
+    #: router just derives from None (still deterministic).
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.r < 1:
+            raise ValueError("the replication factor must be at least 1")
+        for name in ("replication_lag", "lag_jitter", "follower_read_latency",
+                     "failover_detection_delay", "catch_up_per_record",
+                     "provision_delay", "follower_read_cost",
+                     "replication_unit_cost"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReplicaRecord:
+    """One committed write in a group's replication log."""
+
+    seq: int
+    #: Global time the primary acknowledged the write.
+    committed_at: float
+    epoch: int
+    tag: Tag
+    value: Optional[bytes]
+
+    @property
+    def version(self) -> Version:
+        return (self.epoch, self.tag)
+
+
+class FollowerStore:
+    """A passive replica of one key on one pool.
+
+    Followers do not run the LDS protocol; they hold the latest applied
+    ``(epoch, tag, value)`` and serve reads at replica-read latency.
+    """
+
+    def __init__(self, key: str, pool: str, distance: float,
+                 version: Version, value: Optional[bytes],
+                 created_at: float = 0.0) -> None:
+        self.key = key
+        self.pool = pool
+        #: Seeded, unitless closeness factor; effective read latency is
+        #: ``distance * follower_read_latency * regime.scale``.
+        self.distance = distance
+        self.version = version
+        self.value = value
+        self.created_at = created_at
+        self.applied: Set[int] = set()
+        self.applies = 0
+        self.reads_in_flight = 0
+        self.reads_served = 0
+        #: True once the store was dropped (pool died, promoted, rebalance).
+        self.retired = False
+
+    def apply(self, record: ReplicaRecord) -> bool:
+        """Apply one log record; idempotent, keeps the max version."""
+        if record.seq in self.applied:
+            return False
+        self.applied.add(record.seq)
+        self.applies += 1
+        if record.version > self.version:
+            self.version = record.version
+            self.value = record.value
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FollowerStore({self.key!r}@{self.pool!r}, "
+                f"version={self.version}, applies={self.applies})")
+
+
+@dataclass(frozen=True)
+class ReplicaView:
+    """A policy-facing snapshot of one replica at read-dispatch time."""
+
+    pool: str
+    is_primary: bool
+    distance: float
+    reads_in_flight: int
+    reads_served: int
+    #: Position in the group's canonical order (primary first).
+    order: int
+
+
+class ReadRoutingPolicy(ABC):
+    """Chooses which replica serves a read.
+
+    ``choose`` receives the candidates able to serve *right now* (the
+    primary is absent while its group is failing over, dead followers are
+    dropped) and returns the chosen pool, or ``None`` to wait for the
+    primary.  The coordinator may still override a follower choice back
+    to the primary to preserve the session guarantees; that override is
+    counted against the policy's hit rate, not hidden.
+    """
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def choose(self, key: str, candidates: List[ReplicaView]) -> Optional[str]:
+        """Return the pool to read from (``None`` = wait for the primary)."""
+
+
+class PrimaryOnlyPolicy(ReadRoutingPolicy):
+    """Every read runs the full protocol read at the primary."""
+
+    name = "primary"
+
+    def choose(self, key: str, candidates: List[ReplicaView]) -> Optional[str]:
+        for view in candidates:
+            if view.is_primary:
+                return view.pool
+        return None
+
+
+class RoundRobinPolicy(ReadRoutingPolicy):
+    """Reads cycle deterministically over the group's replicas."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def choose(self, key: str, candidates: List[ReplicaView]) -> Optional[str]:
+        if not candidates:
+            return None
+        index = self._counters.get(key, 0)
+        self._counters[key] = index + 1
+        return candidates[index % len(candidates)].pool
+
+
+class NearestPolicy(ReadRoutingPolicy):
+    """Reads go to the replica with the smallest seeded distance."""
+
+    name = "nearest"
+
+    def choose(self, key: str, candidates: List[ReplicaView]) -> Optional[str]:
+        if not candidates:
+            return None
+        return min(candidates, key=lambda v: (v.distance, v.order)).pool
+
+
+class LeastLoadedPolicy(ReadRoutingPolicy):
+    """Reads go to the replica with the fewest in-flight (then served) reads."""
+
+    name = "least-loaded"
+
+    def choose(self, key: str, candidates: List[ReplicaView]) -> Optional[str]:
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda v: (v.reads_in_flight, v.reads_served, v.order)).pool
+
+
+_POLICIES = {
+    PrimaryOnlyPolicy.name: PrimaryOnlyPolicy,
+    RoundRobinPolicy.name: RoundRobinPolicy,
+    NearestPolicy.name: NearestPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+}
+
+
+def make_read_policy(spec: Union[str, ReadRoutingPolicy]) -> ReadRoutingPolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(spec, ReadRoutingPolicy):
+        return spec
+    try:
+        return _POLICIES[spec]()
+    except KeyError:
+        raise ValueError(
+            f"unknown read routing policy {spec!r}; "
+            f"choose one of {sorted(_POLICIES)}"
+        ) from None
+
+
+class ReplicaGroup:
+    """The replica set serving one key: primary shard + follower stores."""
+
+    def __init__(self, key: str, primary_pool: str, epoch: int,
+                 primary_distance: float) -> None:
+        self.key = key
+        self.primary_pool = primary_pool
+        self.epoch = epoch
+        self.primary_distance = primary_distance
+        self.followers: List[FollowerStore] = []
+        self.status = NORMAL
+        self.log: List[ReplicaRecord] = []
+        #: Highest committed (version, value); seeds promotions and
+        #: replacement followers.
+        self.latest_version: Version = (epoch, INITIAL_TAG)
+        self.latest_value: Optional[bytes] = None
+        #: Follower-served reads (kept outside the shard histories so the
+        #: per-epoch atomicity check stays primary-only).
+        self.history = History()
+        #: (handle, reader, nominal at, session) queued while primary-bound
+        #: traffic is frozen during failover.  The nominal time is kept so
+        #: the post-promotion flush preserves per-client spacing (a client
+        #: may only have one operation in flight).
+        self.deferred_reads: List[
+            Tuple[str, Union[int, str], Optional[float], Optional[str]]
+        ] = []
+        #: Reads the coordinator routed to the primary and that have not
+        #: completed yet (a load heuristic, decremented on READ completions
+        #: of the live epoch, so it is approximate around migrations).
+        self.primary_in_flight = 0
+        #: Reads dispatched per pool over the group's lifetime.
+        self.dispatched: Dict[str, int] = {}
+        #: Pools with a replacement-follower provision scheduled but not
+        #: yet seated (keeps multi-deficit provisioning from piling onto
+        #: one target and lets the deficit be filled in one pass).
+        self.pending_provisions: Set[str] = set()
+        self._read_counter = 0
+
+    def live_followers(self) -> List[FollowerStore]:
+        return [store for store in self.followers if not store.retired]
+
+    def follower(self, pool: str) -> Optional[FollowerStore]:
+        for store in self.live_followers():
+            if store.pool == pool:
+                return store
+        return None
+
+    def pools(self) -> List[str]:
+        """Pools currently holding a replica (primary first)."""
+        return [self.primary_pool] + [s.pool for s in self.live_followers()]
+
+    def next_read_id(self) -> int:
+        self._read_counter += 1
+        return self._read_counter
+
+
+@dataclass
+class ReplicaStats:
+    """Aggregate counters of the coordinator."""
+
+    groups_created: int = 0
+    records_logged: int = 0
+    records_applied: int = 0
+    failovers_started: int = 0
+    promotions: int = 0
+    followers_provisioned: int = 0
+    followers_lost: int = 0
+    catch_up_records: int = 0
+
+
+class ReplicaCoordinator:
+    """Owns every replica group of one :class:`ObjectRouter`.
+
+    Wired by the router itself when its :class:`ReplicationConfig` has
+    ``r > 1``; requires the global simulation kernel (replication lag,
+    follower reads and failover are kernel events -- legacy per-shard
+    clocks cannot express them).
+    """
+
+    def __init__(self, router, config: ReplicationConfig,
+                 read_policy: Union[str, ReadRoutingPolicy] = "primary") -> None:
+        self.router = router
+        self.config = config
+        self.policy = make_read_policy(read_policy)
+        self.membership: Membership = router.membership
+        self.groups: Dict[str, ReplicaGroup] = {}
+        #: Follower-read handle -> completed result.
+        self._results: Dict[str, OperationResult] = {}
+        #: Handles of follower reads dispatched but not yet completed.
+        self._pending: Set[str] = set()
+        #: (session, key) -> highest version the session has observed.
+        self._floors: Dict[Tuple[str, str], Version] = {}
+        self._seq = 0
+        #: Communication cost of replication traffic (applies, catch-up,
+        #: provisioning copies) and of served follower reads.
+        self.replication_cost = 0.0
+        self.read_cost = 0.0
+        #: (global_time, kind, detail) for the harness timeline:
+        #: ``primary-down`` / ``promote`` / ``follower-lost`` /
+        #: ``follower-provisioned`` / ``unserviceable``.
+        self.failover_log: List[Tuple[float, str, str]] = []
+        self.stats = ReplicaStats()
+        #: Optional shared latency regime scaling follower-read latency.
+        self.latency_regime = None
+        #: Pools whose kill was already processed (fail_pool delivers one
+        #: FAIL event per node; only the first needs the group scan).
+        self._dead_pools: Set[str] = set()
+        self.membership.subscribe(self._on_membership_event)
+
+    # -- wiring ------------------------------------------------------------------
+
+    @property
+    def kernel(self):
+        kernel = self.router.kernel
+        if kernel is None:
+            raise RuntimeError(
+                "replica groups run on the global clock; attach a "
+                "GlobalScheduler before driving an r>1 cluster"
+            )
+        return kernel
+
+    def _now(self) -> float:
+        return self.kernel.now
+
+    def _distance(self, key: str, pool: str) -> float:
+        """Seeded, unitless replica distance in [0.5, 1.5)."""
+        return 0.5 + (derive_seed(self.config.seed, "distance", key, pool)
+                      % 1000) / 1000.0
+
+    def _lag_jitter(self, key: str, pool: str, seq: int) -> float:
+        if self.config.lag_jitter <= 0:
+            return 0.0
+        unit = (derive_seed(self.config.seed, "lag", key, pool, seq)
+                % 10_000) / 10_000.0
+        return unit * self.config.lag_jitter
+
+    def _read_latency(self, store: FollowerStore) -> float:
+        scale = self.latency_regime.scale if self.latency_regime is not None else 1.0
+        return store.distance * self.config.follower_read_latency * scale
+
+    # -- group lifecycle ------------------------------------------------------------
+
+    def ensure_group(self, key: str, shard) -> ReplicaGroup:
+        """Create the replica group for a freshly built epoch-0 shard."""
+        existing = self.groups.get(key)
+        if existing is not None:
+            return existing
+        now = self._now()
+        pools = self.membership.ring.nodes_for(key, self.config.r)
+        group = ReplicaGroup(key=key, primary_pool=shard.pool,
+                             epoch=shard.epoch,
+                             primary_distance=self._distance(key, shard.pool))
+        group.latest_value = self.router.config.initial_value
+        for pool in pools[1:]:
+            # The ring still lists dead pools (failures do not change
+            # placement); a store created there would never be retired --
+            # its pool's FAIL events predate the group -- and would serve
+            # reads from a dead pool forever.  Seed live pools only and
+            # let provisioning restore the missing redundancy elsewhere.
+            if not self.membership.pool_alive(pool):
+                continue
+            group.followers.append(FollowerStore(
+                key=key, pool=pool, distance=self._distance(key, pool),
+                version=group.latest_version, value=group.latest_value,
+                created_at=now,
+            ))
+        self.groups[key] = group
+        self.stats.groups_created += 1
+        self._hook_primary(group, shard)
+        if len(group.live_followers()) < self.config.r - 1:
+            self._provision_replacement(group, now)
+        # A key can be touched for the first time after its primary pool
+        # already died (lazy shard creation): fail over immediately.
+        if not self.membership.pool_alive(group.primary_pool):
+            self._begin_failover(group, now)
+        return group
+
+    def _hook_primary(self, group: ReplicaGroup, shard) -> None:
+        """Subscribe to the (current epoch's) primary completions."""
+        epoch = shard.epoch
+        object_id = shard.system.object_id
+
+        def on_completion(result: OperationResult,
+                          _group=group, _epoch=epoch, _object_id=object_id,
+                          _shard=shard) -> None:
+            self._on_primary_completion(_group, _shard, _epoch, _object_id,
+                                        result)
+
+        shard.system.completion_hooks.append(on_completion)
+
+    def frozen(self, key: str) -> bool:
+        """True while ``key``'s primary-bound traffic must queue (failover)."""
+        group = self.groups.get(key)
+        return group is not None and group.status in (FAILING_OVER,
+                                                      UNSERVICEABLE)
+
+    # -- primary completions: floors + write fan-out ----------------------------------
+
+    def _bump_floor(self, session: Optional[str], key: str,
+                    version: Version) -> None:
+        if session is None:
+            return
+        slot = (session, key)
+        current = self._floors.get(slot)
+        if current is None or version > current:
+            self._floors[slot] = version
+
+    def session_floor(self, session: Optional[str],
+                      key: str) -> Optional[Version]:
+        if session is None:
+            return None
+        return self._floors.get((session, key))
+
+    def _on_primary_completion(self, group: ReplicaGroup, shard, epoch: int,
+                               object_id: str, result: OperationResult) -> None:
+        session = self.router._op_sessions.get((object_id, result.op_id))
+        version = (epoch, result.tag)
+        self._bump_floor(session, group.key, version)
+        if result.kind != WRITE:
+            if group.primary_in_flight > 0:
+                group.primary_in_flight -= 1
+            return
+        if self.router._shards.get(group.key) is not shard:
+            return  # a retired epoch draining; its writes were already logged
+        self._seq += 1
+        record = ReplicaRecord(seq=self._seq,
+                               committed_at=self.router.shard_now(shard),
+                               epoch=epoch, tag=result.tag, value=result.value)
+        group.log.append(record)
+        self.stats.records_logged += 1
+        if record.version > group.latest_version:
+            group.latest_version = record.version
+            group.latest_value = record.value
+        for store in group.live_followers():
+            self._schedule_apply(group, store, record)
+
+    def _schedule_apply(self, group: ReplicaGroup, store: FollowerStore,
+                        record: ReplicaRecord) -> None:
+        at = (record.committed_at + self.config.replication_lag
+              + self._lag_jitter(group.key, store.pool, record.seq))
+        self.kernel.schedule_at(
+            max(at, self._now()),
+            lambda: self._apply(group, store, record),
+        )
+
+    def _apply(self, group: ReplicaGroup, store: FollowerStore,
+               record: ReplicaRecord) -> None:
+        if store.retired:
+            return
+        if store.apply(record):
+            self.stats.records_applied += 1
+            self.replication_cost += self.config.replication_unit_cost
+
+    # -- epoch transitions driven by the router -----------------------------------------
+
+    def on_primary_migrated(self, key: str, shard,
+                            carried_value: Optional[bytes]) -> None:
+        """A rebalance moved ``key``'s primary: adopt the new epoch.
+
+        The new epoch's initial state is replicated to the followers like
+        a write (they must learn the epoch bump, or their versions would
+        stay comparable-but-stale forever).
+        """
+        group = self.groups.get(key)
+        if group is None:
+            return
+        group.primary_pool = shard.pool
+        group.primary_distance = self._distance(key, shard.pool)
+        group.epoch = shard.epoch
+        self._hook_primary(group, shard)
+        self._log_snapshot(group, shard.epoch, carried_value)
+
+    def _log_snapshot(self, group: ReplicaGroup, epoch: int,
+                      value: Optional[bytes]) -> None:
+        """Append an epoch-boundary record (initial value of a new epoch)."""
+        self._seq += 1
+        record = ReplicaRecord(seq=self._seq, committed_at=self._now(),
+                               epoch=epoch, tag=INITIAL_TAG, value=value)
+        group.log.append(record)
+        self.stats.records_logged += 1
+        if record.version > group.latest_version:
+            group.latest_version = record.version
+            group.latest_value = record.value
+        for store in group.live_followers():
+            self._schedule_apply(group, store, record)
+
+    # -- read routing --------------------------------------------------------------------
+
+    def invoke_read(self, key: str, reader: Union[int, str] = 0,
+                    at: Optional[float] = None,
+                    session: Optional[str] = None) -> str:
+        """Route one read: follower serve, primary queue, or failover defer.
+
+        The routing decision is made at invocation time (the kernel's
+        arrival events invoke at their nominal global time, so for
+        workload traffic this *is* the arrival instant).
+        """
+        shard = self.router.shard(key)  # also creates the group
+        group = self.groups[key]
+        handle = self.router._new_replica_handle(key)
+        now = self._now()
+        dispatch_at = now if at is None else max(at, now)
+
+        candidates: List[ReplicaView] = []
+        order = 0
+        if group.status == NORMAL:
+            candidates.append(ReplicaView(
+                pool=group.primary_pool, is_primary=True,
+                distance=group.primary_distance,
+                reads_in_flight=group.primary_in_flight,
+                reads_served=group.dispatched.get(group.primary_pool, 0),
+                order=order,
+            ))
+            order += 1
+        for store in group.live_followers():
+            candidates.append(ReplicaView(
+                pool=store.pool, is_primary=False, distance=store.distance,
+                reads_in_flight=store.reads_in_flight,
+                reads_served=store.reads_served, order=order,
+            ))
+            order += 1
+
+        choice = self.policy.choose(key, candidates)
+        stats = self.router.stats
+        if choice is not None:
+            stats.policy_choices += 1
+        routed = choice
+        if routed is not None and routed != group.primary_pool:
+            store = group.follower(routed)
+            if store is None:
+                routed = group.primary_pool if group.status == NORMAL else None
+            elif self.config.session_guard:
+                floor = self.session_floor(session, key)
+                if floor is not None and store.version < floor:
+                    # The follower has not caught up to what this session
+                    # already observed: fall back to the primary.
+                    routed = group.primary_pool if group.status == NORMAL else None
+                    stats.session_fallbacks += 1
+
+        if routed is not None and routed != group.primary_pool:
+            if routed == choice:
+                stats.policy_honored += 1
+            self._serve_follower_read(group, store, handle, reader,
+                                      dispatch_at, session)
+            return handle
+
+        # Primary-bound (explicitly, by fallback, or because nothing else
+        # can serve): queue on the shard, or defer while failing over.
+        if group.status != NORMAL:
+            group.deferred_reads.append((handle, reader, dispatch_at, session))
+            self._pending.add(handle)
+            stats.failover_deferrals += 1
+            return handle
+        if routed == choice and choice is not None:
+            stats.policy_honored += 1
+        self._dispatch_primary_read(group, handle, reader, at, session)
+        return handle
+
+    def _dispatch_primary_read(self, group: ReplicaGroup, handle: str,
+                               reader: Union[int, str], at: Optional[float],
+                               session: Optional[str]) -> None:
+        """Queue one read on the group's primary, with the shared accounting
+        (also used when failover-deferred reads flush at promotion)."""
+        stats = self.router.stats
+        stats.primary_reads += 1
+        stats.reads_by_replica[group.primary_pool] = (
+            stats.reads_by_replica.get(group.primary_pool, 0) + 1
+        )
+        group.primary_in_flight += 1
+        group.dispatched[group.primary_pool] = (
+            group.dispatched.get(group.primary_pool, 0) + 1
+        )
+        self.router._queue_read(group.key, reader=reader, at=at,
+                                session=session, handle=handle)
+
+    def _serve_follower_read(self, group: ReplicaGroup, store: FollowerStore,
+                             handle: str, reader: Union[int, str],
+                             at: float, session: Optional[str]) -> None:
+        store.reads_in_flight += 1
+        group.dispatched[store.pool] = group.dispatched.get(store.pool, 0) + 1
+        self._pending.add(handle)
+        # Routing counters are symmetric with the primary path: both count
+        # at dispatch.  A read stranded by a crash mid-flight therefore
+        # still counts as *routed* to its replica (see RouterStats).
+        stats = self.router.stats
+        stats.follower_reads += 1
+        stats.reads_by_replica[store.pool] = (
+            stats.reads_by_replica.get(store.pool, 0) + 1
+        )
+        respond_at = at + self._read_latency(store)
+        self.kernel.schedule_at(
+            max(respond_at, self._now()),
+            lambda: self._complete_follower_read(group, store, handle, reader,
+                                                 at, session),
+        )
+
+    def _complete_follower_read(self, group: ReplicaGroup, store: FollowerStore,
+                                handle: str, reader: Union[int, str],
+                                invoked_at: float,
+                                session: Optional[str]) -> None:
+        now = self._now()
+        store.reads_in_flight -= 1
+        epoch, tag = store.version
+        object_id = join_object_id(group.key, epoch)
+        op_id = (f"{group.key}/{REPLICA_CLIENT_PREFIX}{store.pool}"
+                 f"/read-{group.next_read_id()}")
+        client_id = f"{REPLICA_CLIENT_PREFIX}{store.pool}/reader-{reader}"
+        if store.retired:
+            # The store's pool died (or the store was dropped) while the
+            # read was in flight: like in-flight operations at a crashed
+            # primary, it never responds.  Recorded as incomplete so the
+            # merged history tells the truth; the handle stays pending.
+            group.history.add(Operation(
+                op_id=op_id, client_id=client_id, kind=READ,
+                object_id=object_id, invoked_at=invoked_at, session=session,
+            ))
+            return
+        store.reads_served += 1
+        group.history.add(Operation(
+            op_id=op_id, client_id=client_id, kind=READ, object_id=object_id,
+            value=store.value, invoked_at=invoked_at, responded_at=now,
+            tag=tag, session=session,
+        ))
+        result = OperationResult(
+            op_id=op_id, client_id=client_id, kind=READ, tag=tag,
+            value=store.value, invoked_at=invoked_at, responded_at=now,
+        )
+        self._results[handle] = result
+        self._pending.discard(handle)
+        self._bump_floor(session, group.key, (epoch, tag))
+        self.read_cost += self.config.follower_read_cost
+
+    # -- results / accounting ----------------------------------------------------------
+
+    def result(self, handle: str) -> Optional[OperationResult]:
+        return self._results.get(handle)
+
+    def operation_cost(self, handle: str) -> float:
+        """Cost of one served follower read (0 while pending/deferred)."""
+        if handle in self._results:
+            return self.config.follower_read_cost
+        return 0.0
+
+    def incomplete_reads(self) -> int:
+        """Follower reads in flight plus reads deferred behind a failover."""
+        return len(self._pending)
+
+    @property
+    def total_cost(self) -> float:
+        """Replication traffic plus follower-read transfer cost."""
+        return self.replication_cost + self.read_cost
+
+    def histories(self) -> List[History]:
+        """Follower-read histories, one per group, in key order."""
+        return [self.groups[key].history for key in sorted(self.groups)]
+
+    # -- membership reactions: failover and follower loss -----------------------------------
+
+    def _on_membership_event(self, event: MembershipEvent) -> None:
+        pool = event.node.pool
+        if event.kind == RECOVER:
+            if pool in self._dead_pools:
+                self._dead_pools.discard(pool)
+                # A previously dead pool is back: groups that could not
+                # restore full redundancy for lack of live pools get
+                # another provisioning pass.
+                for key in sorted(self.groups):
+                    group = self.groups[key]
+                    if group.status == NORMAL and \
+                            len(group.live_followers()) < self.config.r - 1:
+                        self._provision_replacement(group, event.time)
+            return
+        if event.kind != FAIL:
+            return
+        if self.membership.pool_alive(pool):
+            return  # the pool is degraded, not down; repair handles it
+        if pool in self._dead_pools:
+            # fail_pool emits one FAIL per node of an already-down pool;
+            # only the first event does any work.
+            return
+        self._dead_pools.add(pool)
+        for key in sorted(self.groups):
+            group = self.groups[key]
+            if group.status == NORMAL and group.primary_pool == pool:
+                self._begin_failover(group, event.time)
+            else:
+                store = group.follower(pool)
+                if store is not None:
+                    self._lose_follower(group, store, event.time)
+
+    def _begin_failover(self, group: ReplicaGroup, time: float) -> None:
+        group.status = FAILING_OVER
+        self.stats.failovers_started += 1
+        self.failover_log.append(
+            (time, "primary-down",
+             f"{group.key}: primary {group.primary_pool} down, "
+             f"{len(group.live_followers())} follower(s) serving degraded reads")
+        )
+        promote_at = time + self.config.failover_detection_delay
+        self.kernel.schedule_at(max(promote_at, self._now()),
+                                lambda: self._promote(group))
+
+    def _promote(self, group: ReplicaGroup) -> None:
+        if group.status != FAILING_OVER:
+            return
+        now = self._now()
+        successor = next(
+            (store for store in group.live_followers()
+             if self.membership.pool_alive(store.pool)),
+            None,
+        )
+        if successor is None:
+            group.status = UNSERVICEABLE
+            self.failover_log.append(
+                (now, "unserviceable",
+                 f"{group.key}: no live follower to promote; "
+                 f"{len(group.deferred_reads)} read(s) stranded")
+            )
+            return
+        # Catch-up: every logged record the successor is missing must be
+        # applied before it serves writes -- acknowledged writes survive
+        # the primary by construction.  The records are *counted* now (the
+        # catch-up duration is a detection-time estimate) but applied only
+        # when the successor is seated, so degraded reads during the
+        # window still observe the successor's genuinely stale state.
+        missing = len([record for record in group.log
+                       if record.seq not in successor.applied])
+        done_at = now + self.config.catch_up_per_record * missing
+        self.kernel.schedule_at(
+            max(done_at, now),
+            lambda: self._finish_promotion(group, successor),
+        )
+
+    def _finish_promotion(self, group: ReplicaGroup,
+                          successor: FollowerStore) -> None:
+        if group.status != FAILING_OVER:
+            return
+        now = self._now()
+        if successor.retired or not self.membership.pool_alive(successor.pool):
+            # The successor's own pool died during the catch-up window.
+            # Re-run the promotion choice over the remaining live followers
+            # (or go unserviceable) instead of seating a primary on a dead
+            # pool that no future membership event would ever dislodge.
+            self._promote(group)
+            return
+        # Apply the catch-up at seat time (normal lag applies that landed
+        # during the window are skipped by the idempotent applied-set).
+        # If a successor dies mid-window the next candidate catches up and
+        # is charged afresh -- both copies consumed real bandwidth.
+        caught_up = 0
+        for record in group.log:
+            if successor.apply(record):
+                caught_up += 1
+                self.replication_cost += self.config.replication_unit_cost
+        self.stats.catch_up_records += caught_up
+        old_pool = group.primary_pool
+        successor.retired = True
+        shard = self.router.failover_shard(group.key, successor.pool,
+                                           successor.value)
+        group.primary_pool = successor.pool
+        group.primary_distance = successor.distance
+        group.epoch = shard.epoch
+        group.status = NORMAL
+        self.stats.promotions += 1
+        self._hook_primary(group, shard)
+        # Replicate the promotion snapshot so the surviving followers learn
+        # the new epoch.
+        self._log_snapshot(group, shard.epoch, successor.value)
+        self.failover_log.append(
+            (now, "promote",
+             f"{group.key}: {successor.pool} promoted (epoch {shard.epoch}, "
+             f"caught up {caught_up} record(s)); was {old_pool}")
+        )
+        # Un-freeze: flush the writes and reads queued during the failover.
+        deferred = group.deferred_reads
+        group.deferred_reads = []
+        for handle, reader, at, session in deferred:
+            self._pending.discard(handle)
+            self._dispatch_primary_read(group, handle, reader, at, session)
+        self.router.flush_key(group.key)
+        # Restore r-way redundancy: the dead primary's slot is re-provisioned
+        # on the next ring pool.
+        self._provision_replacement(group, now)
+
+    def _lose_follower(self, group: ReplicaGroup, store: FollowerStore,
+                       time: float) -> None:
+        store.retired = True
+        self.stats.followers_lost += 1
+        self.failover_log.append(
+            (time, "follower-lost", f"{group.key}: follower {store.pool} down")
+        )
+        self._provision_replacement(group, time)
+
+    def _provision_replacement(self, group: ReplicaGroup, time: float) -> None:
+        """Schedule replacement followers on unused, live ring pools until
+        the full ``r - 1`` redundancy is covered (live + already pending).
+
+        This is the replica layer's "repair": it restores the *replica*,
+        where the repair scheduler restores individual server slots.
+        """
+        if group.status == UNSERVICEABLE:
+            return
+        deficit = (self.config.r - 1 - len(group.live_followers())
+                   - len(group.pending_provisions))
+        if deficit <= 0:
+            return
+        used = set(group.pools()) | group.pending_provisions
+        targets = [pool for pool in self._live_preference(group.key)
+                   if pool not in used][:deficit]
+        # Fewer targets than the deficit means there are not enough live
+        # pools right now; a pool recovery re-triggers this pass.
+        ready_at = max(time + self.config.provision_delay, self._now())
+        for target in targets:
+            group.pending_provisions.add(target)
+            self.kernel.schedule_at(
+                ready_at,
+                lambda target=target: self._provision(group, target),
+            )
+
+    def _provision(self, group: ReplicaGroup, pool: str) -> None:
+        group.pending_provisions.discard(pool)
+        if group.status == UNSERVICEABLE:
+            return
+        if len(group.live_followers()) >= self.config.r - 1:
+            return
+        if not self.membership.pool_alive(pool) or pool in group.pools():
+            # The pool chosen at schedule time died (or gained another of
+            # the group's replicas) during the provisioning delay: re-run
+            # the selection over the remaining live ring pools instead of
+            # leaving the group under-replicated for good.
+            self._provision_replacement(group, self._now())
+            return
+        now = self._now()
+        store = FollowerStore(
+            key=group.key, pool=pool,
+            distance=self._distance(group.key, pool),
+            version=group.latest_version, value=group.latest_value,
+            created_at=now,
+        )
+        # Seeding copies the object once; the copy subsumes every record
+        # logged so far (the seed *is* their net effect), so the whole log
+        # counts as applied and only future commits replicate to the store.
+        store.applied.update(record.seq for record in group.log)
+        group.followers.append(store)
+        self.replication_cost += self.config.replication_unit_cost
+        self.stats.followers_provisioned += 1
+        self.failover_log.append(
+            (now, "follower-provisioned",
+             f"{group.key}: new follower on {pool} at version "
+             f"{store.version}")
+        )
+
+    # -- replica-aware rebalancing -------------------------------------------------------
+
+    def _live_preference(self, key: str) -> List[str]:
+        """The ring's preference walk for ``key``, dead pools skipped.
+
+        The ring deliberately keeps failed pools (node failures do not
+        change placement), but a *fully dead* pool cannot host anything:
+        planning a primary or follower onto one would seat a replica that
+        no future membership event ever revives.  Liveness filtering
+        happens here, at planning time, so the plan converges back to the
+        raw ring walk if the pool ever recovers.
+        """
+        ring = self.membership.ring
+        return [pool for pool in ring.nodes_for(key, len(ring))
+                if self.membership.pool_alive(pool)]
+
+    def desired_placement(self) -> Dict[str, List[str]]:
+        """The replica sets the current ring prescribes for tracked keys
+        (first ``r`` *live* pools of each key's preference walk)."""
+        return {key: self._live_preference(key)[:self.config.r]
+                for key in sorted(self.groups)}
+
+    def current_placement(self) -> Dict[str, List[str]]:
+        return {key: self.groups[key].pools() for key in sorted(self.groups)}
+
+    def apply_follower_changes(self, changes, time: float) -> None:
+        """Execute the follower part of a replica-aware rebalance plan.
+
+        Changes for groups that are mid-failover are skipped wholesale,
+        mirroring the router's frozen-move skip: the plan was computed
+        against a primary move that did not happen, and dropping a frozen
+        group's only caught-up follower would strand the promotion.  A
+        later rebalance realigns the group once it is serving again.
+        """
+        for change in changes:
+            group = self.groups.get(change.key)
+            if group is None or self.frozen(change.key):
+                continue
+            if change.action == DROP_FOLLOWER:
+                store = group.follower(change.pool)
+                if store is not None:
+                    store.retired = True
+            else:  # add
+                ready_at = max(time + self.config.provision_delay, self._now())
+                self.kernel.schedule_at(
+                    ready_at,
+                    lambda group=group, pool=change.pool:
+                        self._provision(group, pool),
+                )
+
+
+__all__ = [
+    "FAILING_OVER",
+    "NORMAL",
+    "UNSERVICEABLE",
+    "FollowerStore",
+    "LeastLoadedPolicy",
+    "NearestPolicy",
+    "PrimaryOnlyPolicy",
+    "ReadRoutingPolicy",
+    "ReplicaCoordinator",
+    "ReplicaGroup",
+    "ReplicaRecord",
+    "ReplicaStats",
+    "ReplicaView",
+    "ReplicationConfig",
+    "RoundRobinPolicy",
+    "Version",
+    "make_read_policy",
+]

@@ -54,13 +54,24 @@ from dataclasses import dataclass, field, replace as dc_replace
 from typing import Callable, Dict, List, Optional, Union
 
 from repro.cluster.membership import FAIL, L1_ROLE, Membership, MembershipEvent
-from repro.cluster.placement import RebalancePlan, ShardMove, diff_placements
+from repro.cluster.placement import (
+    RebalancePlan,
+    ShardMove,
+    diff_placements,
+    diff_replica_placements,
+)
+from repro.cluster.replicas import (
+    ReadRoutingPolicy,
+    ReplicaCoordinator,
+    ReplicationConfig,
+)
 from repro.cluster.ring import RingBalance, stable_hash
 from repro.consistency.history import History, READ, WRITE
 from repro.consistency.linearizability import (
     AtomicityViolation,
     check_atomicity_by_tags,
 )
+from repro.consistency.sessions import join_object_id
 from repro.core.config import LDSConfig
 from repro.core.results import OperationResult
 from repro.core.system import LDSSystem
@@ -102,7 +113,8 @@ class Shard:
 
 @dataclass
 class RouterStats:
-    """Counters describing the router's batching and migration activity."""
+    """Counters describing the router's batching, migration and (with
+    replica groups) read-routing activity."""
 
     batches_flushed: int = 0
     operations_flushed: int = 0
@@ -110,6 +122,23 @@ class RouterStats:
     migrations: int = 0
     #: Operations injected through kernel arrival events (kernel mode only).
     arrivals: int = 0
+    #: Reads routed to a group's primary (replica mode only; includes
+    #: session-guard fallbacks and post-failover flushes of deferred reads).
+    primary_reads: int = 0
+    #: Reads routed to follower stores.  Both counters count at dispatch
+    #: time: a read stranded by a crash mid-flight stays counted as routed
+    #: (the merged history records whether it actually completed).
+    follower_reads: int = 0
+    #: Follower choices overridden to the primary by the session guard.
+    session_fallbacks: int = 0
+    #: Primary-bound reads queued behind an in-progress failover.
+    failover_deferrals: int = 0
+    #: Reads for which the routing policy expressed a concrete choice.
+    policy_choices: int = 0
+    #: ... of which the chosen replica actually served the read.
+    policy_honored: int = 0
+    #: Reads routed per pool (primary and follower routes combined).
+    reads_by_replica: Dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_batch_size(self) -> float:
@@ -117,9 +146,32 @@ class RouterStats:
             return 0.0
         return self.operations_flushed / self.batches_flushed
 
+    @property
+    def routed_reads(self) -> int:
+        """Reads that went through the replica-group read router."""
+        return self.primary_reads + self.follower_reads
+
+    @property
+    def follower_read_fraction(self) -> float:
+        """Share of routed reads served by followers (0.0 without replicas)."""
+        routed = self.routed_reads
+        return self.follower_reads / routed if routed else 0.0
+
+    @property
+    def policy_hit_rate(self) -> float:
+        """Fraction of policy choices that were honored (not overridden)."""
+        if not self.policy_choices:
+            return 0.0
+        return self.policy_honored / self.policy_choices
+
 
 def _object_id(key: str, epoch: int) -> str:
-    return key if epoch == 0 else f"{key}@e{epoch}"
+    return join_object_id(key, epoch)
+
+
+#: Sentinel epoch marking a handle owned by the replica read router
+#: (a follower-served or failover-deferred read with no LDS op id).
+REPLICA_EPOCH = "replica"
 
 
 #: Keys must not end in the router's own epoch suffix, or merged-history
@@ -134,7 +186,9 @@ class ObjectRouter:
     def __init__(self, config: LDSConfig, membership: Membership, *,
                  writers_per_shard: int = 1, readers_per_shard: int = 1,
                  latency_factory: Optional[Callable[[str, str], LatencyModel]] = None,
-                 encode_cache_size: int = 64) -> None:
+                 encode_cache_size: int = 64,
+                 replication: Optional[ReplicationConfig] = None,
+                 read_policy: Union[str, ReadRoutingPolicy] = "primary") -> None:
         if writers_per_shard < 1 or readers_per_shard < 1:
             raise ValueError("each shard needs at least one writer and one reader "
                              "(reads also implement shard migration)")
@@ -180,6 +234,12 @@ class ObjectRouter:
         #: shard's *local* drain time (legacy shard clocks are mutually
         #: incomparable, so do not sort the log across shards there).
         self.migration_log: List[tuple] = []
+        #: Replica-group coordinator (None when replication is off, i.e.
+        #: r <= 1 -- the pre-replica single-copy behaviour, bit for bit).
+        self.replicas: Optional[ReplicaCoordinator] = None
+        if replication is not None and replication.r > 1:
+            self.replicas = ReplicaCoordinator(self, replication,
+                                               read_policy=read_policy)
         membership.subscribe(self._on_membership_event)
 
     # -- global kernel ---------------------------------------------------------
@@ -269,6 +329,8 @@ class ObjectRouter:
         self._shards[key] = shard
         if self._kernel is not None:
             self._register_shard_source(shard)
+        if self.replicas is not None:
+            self.replicas.ensure_group(key, shard)
         self._announce_shard(shard)
         return shard
 
@@ -369,11 +431,39 @@ class ObjectRouter:
     def invoke_read(self, key: str, reader: Union[int, str] = 0,
                     at: Optional[float] = None,
                     session: Optional[str] = None) -> str:
-        """Queue a read on ``key``'s shard; returns an operation handle."""
+        """Queue a read on ``key``'s shard; returns an operation handle.
+
+        With replica groups enabled, the read first passes the coordinator's
+        routing policy and may be served by a follower store instead of the
+        primary's protocol read (see :mod:`repro.cluster.replicas`).
+        """
+        if self.replicas is not None:
+            return self.replicas.invoke_read(key, reader=reader, at=at,
+                                             session=session)
+        return self._queue_read(key, reader=reader, at=at, session=session)
+
+    def _queue_read(self, key: str, reader: Union[int, str] = 0,
+                    at: Optional[float] = None,
+                    session: Optional[str] = None,
+                    handle: Optional[str] = None) -> str:
+        """Queue a protocol read on the primary shard.
+
+        ``handle`` re-points an existing replica-routed handle at the
+        primary epoch (used for session-guard fallbacks and post-failover
+        flushes of deferred reads).
+        """
         shard = self.shard(key)
-        handle = self._new_handle(key, shard.epoch)
+        if handle is None:
+            handle = self._new_handle(key, shard.epoch)
+        else:
+            self._handles[handle][1] = shard.epoch
         shard.pending.append(_PendingOp(handle=handle, kind=READ, client=reader,
                                         at=at, session=session))
+        return handle
+
+    def _new_replica_handle(self, key: str) -> str:
+        """A handle owned by the replica read router (no LDS op id yet)."""
+        handle = self._new_handle(key, REPLICA_EPOCH)
         return handle
 
     # -- workload arrivals (kernel mode) ---------------------------------------------
@@ -445,6 +535,10 @@ class ObjectRouter:
         """Inject the shard's queued operations into its simulator in one batch."""
         if not shard.pending:
             return 0
+        if self.replicas is not None and self.replicas.frozen(shard.key):
+            # The group is failing over: primary-bound operations stay
+            # queued until the promoted epoch flushes them.
+            return 0
         batch = sorted(shard.pending,
                        key=lambda op: op.at if op.at is not None else -1.0)
         shard.pending = []
@@ -514,29 +608,35 @@ class ObjectRouter:
         key, _epoch, _ = self._handles[handle]
         shard = self._shards[key]
         self._flush_shard(shard)
-        op_id = self._handles[handle][2]
         if self._kernel is None:
+            op_id = self._handles[handle][2]
             return shard.system.run_until_complete(op_id)
         # Under the kernel, other shards' events must keep flowing while we
         # wait, so pump the merged queue instead of this shard alone.
+        # Resolution goes through :meth:`result`, which also covers
+        # follower-served and failover-deferred replica reads.
         executed = 0
-        while op_id not in shard.system.results:
+        while True:
+            found = self.result(handle)
+            if found is not None:
+                return found
             if not self._kernel.step():
                 raise RuntimeError(
-                    f"operation {op_id} did not complete (global queue empty)"
+                    f"operation {handle} did not complete (global queue empty)"
                 )
             executed += 1
             if executed > 10_000_000:
                 raise RuntimeError(
-                    f"operation {op_id} did not complete within the event budget"
+                    f"operation {handle} did not complete within the event budget"
                 )
-        return shard.system.results[op_id]
 
     # -- results and costs ---------------------------------------------------------------
 
     def result(self, handle: str) -> Optional[OperationResult]:
         """The completed result behind a handle, or None if still pending."""
         key, epoch, op_id = self._resolve(handle)
+        if epoch == REPLICA_EPOCH:
+            return self.replicas.result(handle)
         if op_id is None:
             return None
         shard = self._shards.get(key)
@@ -555,6 +655,8 @@ class ObjectRouter:
     def operation_cost(self, handle: str) -> float:
         """Normalised communication cost attributed to one routed operation."""
         key, epoch, op_id = self._resolve(handle)
+        if epoch == REPLICA_EPOCH:
+            return self.replicas.operation_cost(handle)
         if op_id is None:
             return 0.0
         shard = self._shards.get(key)
@@ -564,8 +666,10 @@ class ObjectRouter:
 
     @property
     def communication_cost(self) -> float:
-        """Total normalised communication cost across all shards and epochs."""
-        return self._retired_comm_cost + sum(
+        """Total normalised communication cost across all shards and epochs
+        (replication fan-out and follower-read transfers included)."""
+        replica_cost = 0.0 if self.replicas is None else self.replicas.total_cost
+        return self._retired_comm_cost + replica_cost + sum(
             shard.system.communication_cost for shard in self._shards.values()
         )
 
@@ -599,6 +703,12 @@ class ObjectRouter:
                 "global-clock histories need an attached kernel; legacy "
                 "shard clocks are mutually incomparable"
             )
+        if self.replicas is not None and self._kernel is not None:
+            # Replicated histories are always global-clock: follower reads
+            # are recorded with kernel timestamps, and merging them with
+            # unshifted local shard clocks would silently misorder the
+            # history (replication requires the kernel anyway).
+            global_clock = True
         merged = History(initial_value=self.config.initial_value)
         for history in self._all_histories():
             for op in history.operations:
@@ -624,6 +734,13 @@ class ObjectRouter:
                                   else op.responded_at + shift),
                     session=self._op_sessions.get((op.object_id, op.op_id)),
                 ))
+        if self.replicas is not None:
+            # Follower-served reads: recorded with *global* timestamps and
+            # their session identity already attached, and kept out of the
+            # shard histories so per-epoch atomicity stays primary-only.
+            for history in self.replicas.histories():
+                for op in history.operations:
+                    merged.add(op)
         return merged
 
     def _all_histories(self) -> List[History]:
@@ -643,8 +760,11 @@ class ObjectRouter:
         return None
 
     def incomplete_operations(self) -> int:
-        """Number of invoked-but-unfinished operations across the cluster."""
-        return sum(
+        """Number of invoked-but-unfinished operations across the cluster
+        (in-flight and failover-deferred replica reads included)."""
+        replica_pending = (0 if self.replicas is None
+                           else self.replicas.incomplete_reads())
+        return replica_pending + sum(
             1 for history in self._all_histories()
             for op in history if not op.is_complete
         )
@@ -686,16 +806,42 @@ class ObjectRouter:
     # -- rebalancing -----------------------------------------------------------------------
 
     def pending_rebalance(self, reason: str = "", time: float = 0.0) -> RebalancePlan:
-        """The deterministic plan aligning current shards with the ring."""
+        """The deterministic plan aligning current shards with the ring.
+
+        With replica groups the plan is replica-aware: primary moves become
+        shard migrations exactly as before, and changes to the follower
+        sets (``HashRing.nodes_for`` shifting under a join/leave) are
+        carried as :class:`~repro.cluster.placement.FollowerChange` entries
+        executed by the coordinator (drop immediately, provision after the
+        configured copy delay).
+        """
+        if self.replicas is not None:
+            before = self.replicas.current_placement()
+            after = self.replicas.desired_placement()
+            return diff_replica_placements(before, after, reason=reason,
+                                           time=time)
         before = {key: shard.pool for key, shard in self._shards.items()}
         after = self.membership.placement(before)
         return diff_placements(before, after, reason=reason, time=time)
 
     def rebalance(self, reason: str = "", time: float = 0.0) -> RebalancePlan:
-        """Compute the pending plan and migrate every moved shard."""
+        """Compute the pending plan and migrate every moved shard.
+
+        With replica groups, moves whose key is mid-failover are skipped:
+        a migration drains the source with a protocol copy-read, which the
+        dead primary pool can never answer (a pool kill freezes its groups
+        synchronously, so every such key is frozen by the time a rebalance
+        can run).  The failover path owns those keys -- promotion seats a
+        live primary, and a later rebalance realigns it with the ring.
+        Pools that merely *left* still drain normally.
+        """
         plan = self.pending_rebalance(reason=reason, time=time)
         for move in plan.moves:
+            if self.replicas is not None and self.replicas.frozen(move.key):
+                continue
             self.migrate(move)
+        if self.replicas is not None:
+            self.replicas.apply_follower_changes(plan.follower_changes, time)
         return plan
 
     def migrate(self, move: ShardMove) -> Shard:
@@ -757,6 +903,51 @@ class ObjectRouter:
         self._announce_shard(replacement)
         self.stats.migrations += 1
         self.migration_log.append((drained_at, move.key, move.source, move.target))
+        if self.replicas is not None:
+            self.replicas.on_primary_migrated(move.key, replacement, carried)
+        return replacement
+
+    def failover_shard(self, key: str, target_pool: str,
+                       carried_value: Optional[bytes]) -> Shard:
+        """Promote ``key``'s shard onto ``target_pool`` after primary loss.
+
+        The structural twin of :meth:`migrate` for a *dead* source: the
+        retiring epoch cannot be drained (its pool is down, so in-flight
+        operations stay incomplete forever -- which is the truth of a
+        crash) and the carried value comes from the caught-up follower
+        store rather than a protocol copy read.  Frozen pending operations
+        transfer onto the new epoch and their handles are re-pointed at
+        it; the caller (the replica coordinator) flushes them once it has
+        finished its own promotion bookkeeping.
+        """
+        if self._kernel is None:
+            raise RuntimeError("failover is a global-clock operation; "
+                               "attach a kernel first")
+        shard = self._shards[key]
+        epoch_key = (key, shard.epoch)
+        self._archived_results[epoch_key] = dict(shard.system.results)
+        self._archived_costs[epoch_key] = dict(
+            shard.system.network.costs.by_operation
+        )
+        self._retired_comm_cost += shard.system.communication_cost
+        retired = shard.retired_histories + [shard.system.history()]
+        promoted_at = self._kernel.now
+        self._kernel.unregister(f"shard:{shard.object_id}")
+        replacement = self._build_shard(key, target_pool,
+                                        epoch=shard.epoch + 1,
+                                        initial_value=carried_value
+                                        if carried_value is not None
+                                        else self.config.initial_value)
+        replacement.retired_histories = retired
+        # Operations frozen during the failover window carry over; they
+        # execute on the promoted epoch.
+        replacement.pending = shard.pending
+        shard.pending = []
+        for op in replacement.pending:
+            self._handles[op.handle][1] = replacement.epoch
+        self._shards[key] = replacement
+        self._register_shard_source(replacement, offset=promoted_at)
+        self._announce_shard(replacement)
         return replacement
 
 

@@ -44,6 +44,8 @@ from repro.consistency.injection import (
     InjectionError,
     inject_all,
     inject_session_violation,
+    inject_stale_follower_read,
+    is_follower_read,
 )
 
 __all__ = [
@@ -66,4 +68,6 @@ __all__ = [
     "InjectionError",
     "inject_all",
     "inject_session_violation",
+    "inject_stale_follower_read",
+    "is_follower_read",
 ]

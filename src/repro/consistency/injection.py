@@ -192,9 +192,75 @@ def inject_all(history: History) -> Dict[str, Injection]:
             for guarantee in SESSION_GUARANTEES}
 
 
+#: Client-id prefix stamped on follower-served operations by the replica
+#: coordinator (the single definition; repro.cluster.replicas imports it).
+REPLICA_CLIENT_PREFIX = "replica:"
+
+
+def is_follower_read(op: Operation) -> bool:
+    """True for reads served by a replica follower store.
+
+    The replica coordinator stamps follower-served operations with a
+    ``replica:<pool>/...`` client id (see
+    :meth:`repro.cluster.replicas.ReplicaCoordinator`), which is what makes
+    the replicated read path auditable as such.
+    """
+    return op.kind == READ and op.client_id.startswith(REPLICA_CLIENT_PREFIX)
+
+
+def inject_stale_follower_read(history: History) -> Injection:
+    """Demote a follower-served read below what its session already saw.
+
+    This is the replica layer's characteristic failure mode: a lagging
+    follower answers a read with a version the session has already moved
+    past -- exactly what the coordinator's session guard exists to
+    prevent.  The mutation rewrites one follower read to observe an older
+    same-key version, producing the history a guard-less (or buggy)
+    router would record; the session auditor must then report a
+    read-your-writes violation (when the session's strongest predecessor
+    was its own write) or a monotonic-reads violation (when it was a
+    read).  Raises :class:`InjectionError` when the history contains no
+    follower read with a preceding session operation and an older donor
+    version -- i.e. when replication was off or followers never served.
+    """
+    groups, _, _ = session_groups(history)
+    for (session, key), ops in sorted(groups.items()):
+        for later in ops:
+            if not is_follower_read(later):
+                continue
+            predecessors = [earlier for earlier in ops
+                            if earlier.precedes(later)]
+            if not predecessors:
+                continue
+            strongest = max(predecessors,
+                            key=lambda op: (operation_version(op), op.op_id))
+            donor = _version_below(history, key, operation_version(strongest))
+            if donor is None:
+                continue
+            guarantee = (READ_YOUR_WRITES if strongest.kind == WRITE
+                         else MONOTONIC_READS)
+            return Injection(
+                guarantee=guarantee,
+                description=(f"demoted follower read {later.op_id} to the "
+                             f"stale version of {donor.op_id} (session had "
+                             f"already observed {strongest.op_id})"),
+                history=_rebuild(history, _retag(later, donor)),
+                mutated=(later.op_id,),
+                session=session, key=key,
+            )
+    raise InjectionError(
+        "no eligible stale-follower site: the history needs a follower-served "
+        "read preceded by a session operation with an older same-key donor "
+        "version (run a replicated workload with follower reads first)"
+    )
+
+
 __all__ = [
     "Injection",
     "InjectionError",
+    "REPLICA_CLIENT_PREFIX",
     "inject_all",
     "inject_session_violation",
+    "inject_stale_follower_read",
+    "is_follower_read",
 ]

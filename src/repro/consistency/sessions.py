@@ -84,6 +84,16 @@ def split_object_id(object_id: str) -> Tuple[str, int]:
     return object_id, 0
 
 
+def join_object_id(key: str, epoch: int) -> str:
+    """The inverse of :func:`split_object_id`: ``(key, n)`` -> ``key@e<n>``.
+
+    The single definition of the epoch-qualified object-id format; the
+    router and the replica layer both build ids through it so the
+    auditor's parse can never drift from the writers' format.
+    """
+    return key if epoch == 0 else f"{key}@e{epoch}"
+
+
 def operation_version(op: Operation) -> Tuple[int, Any]:
     """The ``(epoch, tag)`` version an operation wrote or observed."""
     _, epoch = split_object_id(op.object_id)
@@ -284,6 +294,7 @@ __all__ = [
     "SessionAuditReport",
     "SessionViolation",
     "check_sessions",
+    "join_object_id",
     "operation_version",
     "session_groups",
     "split_object_id",

@@ -16,7 +16,7 @@ are built by :class:`repro.core.multi_object.MultiObjectSystem`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.codes.layered import LayeredCode
 from repro.consistency.history import History, OperationRecorder, READ, WRITE
@@ -53,6 +53,11 @@ class LDSSystem:
         self.storage = StorageCostTracker(object_id=object_id)
         self.recorder = OperationRecorder(initial_value=config.initial_value)
         self.results: Dict[str, OperationResult] = {}
+        #: Callbacks invoked (synchronously, at the response event) for
+        #: every completed operation.  The cluster's replica coordinator
+        #: uses this to fan committed writes out to follower stores and to
+        #: maintain per-session version floors.
+        self.completion_hooks: List[Callable[[OperationResult], None]] = []
 
         # -- build the two server layers ------------------------------------------
         self.l1_servers: List[L1Server] = []
@@ -126,6 +131,8 @@ class LDSSystem:
             value=result.value if result.kind == READ else None,
             tag=result.tag,
         )
+        for hook in list(self.completion_hooks):
+            hook(result)
 
     # -- invoking operations ---------------------------------------------------------------
 

@@ -51,6 +51,24 @@ class Simulator:
         self._counter = itertools.count()
         self._now = 0.0
         self._events_processed = 0
+        #: Invoked whenever a newly scheduled event becomes the queue head
+        #: (see :meth:`set_head_listener`).
+        self._head_listener: Optional[Callable[[], None]] = None
+
+    def set_head_listener(self, listener: Optional[Callable[[], None]]) -> None:
+        """Register a callback fired when scheduling moves the head earlier.
+
+        An external multiplexer (the global simulation kernel) tracks every
+        simulator's next pending time in a heap; without a notification it
+        would have to re-scan all sources after every event, because any
+        event's callback may schedule onto *any* simulator.  The listener
+        fires from :meth:`schedule_at` whenever the new event lands at the
+        front of the queue, i.e. exactly when the externally visible head
+        time can move earlier (cancellations can only move it later, which
+        the multiplexer detects lazily).  Only one listener is supported --
+        a simulator is ever owned by at most one kernel.
+        """
+        self._head_listener = listener
 
     @property
     def now(self) -> float:
@@ -79,6 +97,8 @@ class Simulator:
             raise ValueError("cannot schedule an event in the past")
         event = _Event(time=time, sequence=next(self._counter), callback=callback)
         heapq.heappush(self._queue, event)
+        if self._head_listener is not None and self._queue[0] is event:
+            self._head_listener()
         return EventHandle(event)
 
     def peek_time(self) -> Optional[float]:

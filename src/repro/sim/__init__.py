@@ -31,9 +31,11 @@ from repro.sim.scenario import (
     ScenarioAction,
     ScenarioEngine,
     correlated_pool_failure,
+    degraded_reads_during_catch_up,
     flash_crowd,
     migration_under_load,
     repair_under_load,
+    replica_failover_under_load,
 )
 from repro.sim.harness import ClusterSimulation
 
@@ -50,4 +52,6 @@ __all__ = [
     "migration_under_load",
     "correlated_pool_failure",
     "flash_crowd",
+    "replica_failover_under_load",
+    "degraded_reads_during_catch_up",
 ]

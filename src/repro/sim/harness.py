@@ -25,8 +25,11 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from typing import Union
+
 from repro.cluster.deployment import ShardedCluster, seeded_latency_factory
 from repro.cluster.repair import GAVE_UP
+from repro.cluster.replicas import ReadRoutingPolicy, ReplicationConfig
 from repro.consistency.history import History
 from repro.consistency.linearizability import AtomicityViolation
 from repro.consistency.sessions import ClusterAuditReport, check_sessions
@@ -47,7 +50,9 @@ class ClusterSimulation:
                  repair_min_interval: float = 5.0,
                  repair_max_concurrent: int = 1,
                  repair_detection_delay: float = 1.0,
-                 repair_slot_jitter: float = 0.0) -> None:
+                 repair_slot_jitter: float = 0.0,
+                 replication: Optional[ReplicationConfig] = None,
+                 read_policy: Union[str, ReadRoutingPolicy] = "primary") -> None:
         self.seed = seed
         self.kernel = GlobalScheduler(record_trace=record_trace)
         self.latency_regime = LatencyRegime()
@@ -63,8 +68,15 @@ class ClusterSimulation:
             repair_detection_delay=repair_detection_delay,
             repair_slot_jitter=repair_slot_jitter,
             seed=seed,
+            replication=replication,
+            read_policy=read_policy,
         )
         self.cluster.attach_kernel(self.kernel)
+        if self.cluster.replicas is not None:
+            # Follower-read latency scales with the shared regime, so a
+            # latency-shift action slows replica serves like protocol
+            # traffic.
+            self.cluster.replicas.latency_regime = self.latency_regime
         self.engine = ScenarioEngine(self)
 
     # -- conveniences over the wired parts ---------------------------------------
@@ -84,6 +96,16 @@ class ClusterSimulation:
     @property
     def repair(self):
         return self.cluster.repair
+
+    @property
+    def replicas(self):
+        """The replica-group coordinator (None when replication is off)."""
+        return self.cluster.replicas
+
+    def read_distribution(self):
+        """Per-replica read counts / routing hit rates of the run so far."""
+        from repro.workloads.metrics import ReadDistribution
+        return ReadDistribution.from_router_stats(self.cluster.router.stats)
 
     @property
     def now(self) -> float:
@@ -197,7 +219,9 @@ class ClusterSimulation:
 
         Categories: ``invoke`` / ``respond`` (foreground operations, with
         the shard key in the detail), ``repair-start`` / ``repair-done``,
-        ``migrate`` and the scenario action kinds.  Sorted by time; this is
+        ``migrate``, the replica-layer events (``primary-down`` /
+        ``promote`` / ``follower-lost`` / ``follower-provisioned``) and
+        the scenario action kinds.  Sorted by time; this is
         the artefact proving repairs and migrations interleave with
         foreground operations across shards on one clock.
         """
@@ -220,6 +244,9 @@ class ClusterSimulation:
                                 f"{task.key} l2-{task.l2_index}"))
         for time, key, source, target in self.cluster.router.migration_log:
             entries.append((time, "migrate", f"{key}: {source} -> {target}"))
+        if self.cluster.replicas is not None:
+            # primary-down / promote / follower-lost / follower-provisioned.
+            entries.extend(self.cluster.replicas.failover_log)
         for time, kind, detail in self.engine.log:
             entries.append((time, kind, detail))
         entries.sort(key=lambda entry: entry[0])

@@ -28,6 +28,7 @@ signature of the entire global event order, and (optionally) a full trace.
 
 from __future__ import annotations
 
+import heapq
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -46,6 +47,8 @@ class SimulatorSource:
         self.simulator = simulator
         self.offset = offset
         self.events_executed = 0
+        #: Registration order; the kernel breaks global-time ties by it.
+        self.order = 0
 
     def next_time(self) -> Optional[float]:
         """Global time of the source's next pending event (None when idle)."""
@@ -112,6 +115,18 @@ class GlobalScheduler:
         self._sources: Dict[str, SimulatorSource] = {}
         self._retired_offsets: Dict[str, float] = {}
         self._now = 0.0
+        #: Lazy min-heap over source head times: (global_time, registration
+        #: order, source name, entry version).  An entry is valid only while
+        #: its version matches ``_heap_versions[name]`` and its time matches
+        #: the source's current head; anything else is discarded (and
+        #: refreshed) on pop, so stale entries are tolerated instead of
+        #: removed eagerly.  Sources push fresh entries through their
+        #: simulator's head listener whenever scheduling moves a head
+        #: earlier, which keeps the heap sound without rescanning every
+        #: source per event: each step costs O(log S) instead of O(S).
+        self._heap: List[Tuple[float, int, str, int]] = []
+        self._heap_versions: Dict[str, int] = {}
+        self._registrations = 0
         self.stats = KernelStats()
         self.record_trace = record_trace
         #: Full (global_time, source_name) trace when ``record_trace`` is on.
@@ -149,8 +164,12 @@ class GlobalScheduler:
         if offset is None:
             offset = self._now - simulator.now
         source = SimulatorSource(name=name, simulator=simulator, offset=offset)
+        source.order = self._registrations
+        self._registrations += 1
         self._sources[name] = source
         self._retired_offsets.pop(name, None)
+        simulator.set_head_listener(lambda: self._push_head(name))
+        self._push_head(name)
         return source
 
     def unregister(self, name: str) -> None:
@@ -162,6 +181,8 @@ class GlobalScheduler:
         map, which also covers epochs that never were kernel sources).
         """
         source = self._sources.pop(name)
+        source.simulator.set_head_listener(None)
+        self._heap_versions.pop(name, None)
         self._retired_offsets[name] = source.offset
 
     def source(self, name: str) -> SimulatorSource:
@@ -193,26 +214,72 @@ class GlobalScheduler:
 
     # -- the event pump -------------------------------------------------------------
 
+    def _push_head(self, name: str) -> None:
+        """(Re)index a source's current head time in the heap."""
+        source = self._sources.get(name)
+        if source is None:
+            return
+        time = source.next_time()
+        if time is None:
+            return
+        version = self._heap_versions.get(name, 0) + 1
+        self._heap_versions[name] = version
+        heapq.heappush(self._heap, (time, source.order, name, version))
+
+    def _pop_valid(self) -> Optional[Tuple[float, int, str, int]]:
+        """Pop the earliest heap entry that still describes a real head."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            time, _order, name, version = entry
+            source = self._sources.get(name)
+            if source is None or version != self._heap_versions.get(name):
+                continue
+            actual = source.next_time()
+            if actual is None:
+                continue
+            if actual != time:
+                # The head moved without a listener notification (an event
+                # at the front was cancelled): refresh and keep looking.
+                self._push_head(name)
+                continue
+            return entry
+        return None
+
     def peek(self) -> Optional[Tuple[float, str]]:
         """Global time and source of the next event, or None when all idle.
 
         A source whose head event maps before the global clock (possible
-        when a simulator was attached mid-flight) is clamped to *now* --
-        the global clock never moves backwards.
+        when a simulator was attached mid-flight, or when a lagging shard
+        schedules "now" locally) is clamped to *now* -- the global clock
+        never moves backwards.  Ties -- including everything clamped to
+        *now* -- go to the earliest-registered source, exactly as the
+        pre-heap linear scan resolved them.
         """
-        best_time: Optional[float] = None
-        best_name: Optional[str] = None
-        for name, source in self._sources.items():
-            time = source.next_time()
-            if time is None:
-                continue
-            effective = time if time > self._now else self._now
-            if best_time is None or effective < best_time:
-                best_time = effective
-                best_name = name
-        if best_name is None:
+        best = self._pop_valid()
+        if best is None:
             return None
-        return best_time, best_name
+        if best[0] > self._now:
+            # All other valid entries are at or after this raw time, so the
+            # heap's (time, registration order) minimum is the winner.
+            heapq.heappush(self._heap, best)
+            return best[0], best[2]
+        # One or more heads are clamped to the current global time; among
+        # everything effectively at *now* the first-registered source wins,
+        # regardless of how far behind its raw head time is.
+        clamped = [best]
+        while True:
+            entry = self._pop_valid()
+            if entry is None:
+                break
+            if entry[0] <= self._now:
+                clamped.append(entry)
+            else:
+                heapq.heappush(self._heap, entry)
+                break
+        winner = min(clamped, key=lambda entry: entry[1])
+        for entry in clamped:
+            heapq.heappush(self._heap, entry)
+        return self._now, winner[2]
 
     def step(self) -> bool:
         """Execute the globally earliest pending event; False when idle."""
@@ -226,6 +293,11 @@ class GlobalScheduler:
         time, name = head
         self._now = time
         self._sources[name].step()
+        # The executed source's head moved; its old heap entry is stale
+        # (version bump) and the new head gets indexed.  Heads of *other*
+        # sources the event scheduled onto were re-indexed synchronously by
+        # their simulators' head listeners.
+        self._push_head(name)
         self.stats.record(name)
         self._fingerprint = zlib.crc32(
             f"{name}@{time!r}".encode(), self._fingerprint

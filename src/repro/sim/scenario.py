@@ -8,7 +8,7 @@ workload phase -- each pinned to a global virtual time.  The
 load changes land *between* foreground protocol events exactly where the
 timeline puts them, instead of between whole run-to-idle passes.
 
-Four scenarios ship with the engine, covering the cross-shard phenomena the
+Six scenarios ship with the engine, covering the cross-shard phenomena the
 legacy per-shard loop could never exhibit:
 
 * :func:`repair_under_load` -- a back-end node dies mid-workload and the
@@ -18,7 +18,11 @@ legacy per-shard loop could never exhibit:
 * :func:`correlated_pool_failure` -- one pool loses an edge (L1) node and a
   back-end (L2) node almost simultaneously;
 * :func:`flash_crowd` -- key popularity snaps to a heavier Zipf skew while
-  the latency regime degrades, modelling a viral-object traffic spike.
+  the latency regime degrades, modelling a viral-object traffic spike;
+* :func:`replica_failover_under_load` -- a whole pool dies mid-workload
+  and its replica groups promote followers (needs ``r >= 2``);
+* :func:`degraded_reads_during_catch_up` -- a read burst lands inside the
+  failover window and is served degraded by follower stores.
 """
 
 from __future__ import annotations
@@ -35,10 +39,13 @@ FAIL_NODE = "fail-node"
 RECOVER_NODE = "recover-node"
 JOIN_POOL = "join-pool"
 LEAVE_POOL = "leave-pool"
+#: Crash every alive node of a pool at once (correlated pool loss); with
+#: replica groups this is the action that triggers primary failover.
+KILL_POOL = "kill-pool"
 LATENCY_SHIFT = "latency-shift"
 WORKLOAD_PHASE = "workload-phase"
 
-_KINDS = (FAIL_NODE, RECOVER_NODE, JOIN_POOL, LEAVE_POOL,
+_KINDS = (FAIL_NODE, RECOVER_NODE, JOIN_POOL, LEAVE_POOL, KILL_POOL,
           LATENCY_SHIFT, WORKLOAD_PHASE)
 
 
@@ -66,8 +73,8 @@ class ScenarioAction:
             raise ValueError("scenario actions cannot be scheduled in the past")
         if self.kind == WORKLOAD_PHASE and self.workload is None:
             raise ValueError("a workload phase needs a workload")
-        if self.kind in (FAIL_NODE, RECOVER_NODE, JOIN_POOL, LEAVE_POOL) \
-                and not self.target:
+        if self.kind in (FAIL_NODE, RECOVER_NODE, JOIN_POOL, LEAVE_POOL,
+                         KILL_POOL) and not self.target:
             raise ValueError(f"action {self.kind!r} needs a target")
 
 
@@ -135,6 +142,9 @@ class ScenarioEngine:
         elif action.kind == LEAVE_POOL:
             plan = cluster.remove_pool(action.target, time=now)
             detail = f"{detail} ({len(plan.moves)} shards migrated)"
+        elif action.kind == KILL_POOL:
+            events = cluster.fail_pool(action.target, time=now)
+            detail = f"{detail} ({len(events)} nodes down)"
         elif action.kind == LATENCY_SHIFT:
             simulation.set_latency_scale(action.scale)
             detail = f"{detail or 'scale'} -> {action.scale:g}x"
@@ -272,10 +282,99 @@ def flash_crowd(keys, *, seed: int = 0, operations: int = 120,
     )
 
 
+def replica_failover_under_load(keys, victim_pool: str, *, seed: int = 0,
+                                operations: int = 200,
+                                write_fraction: float = 0.35,
+                                duration: float = 800.0,
+                                kill_at: float = 300.0,
+                                client_spacing: float = 60.0) -> Scenario:
+    """A whole pool dies mid-workload; its replica groups fail over.
+
+    Run on an ``r >= 2`` simulation: groups whose primary lived on the
+    victim freeze primary traffic, serve degraded follower reads, promote
+    a caught-up follower, and flush the frozen operations into the new
+    epoch -- all while the rest of the cluster keeps serving.  Groups that
+    only had a *follower* there re-provision it elsewhere.  The run must
+    audit clean (atomicity at every primary epoch plus all four session
+    guarantees), because catch-up preserves every acknowledged write.
+    """
+    generator = WorkloadGenerator(seed=derive_seed(seed, "replica-failover"),
+                                  client_spacing=client_spacing)
+    load = generator.zipf_keyed(keys, operations, write_fraction, duration,
+                                s=1.1)
+    return Scenario(
+        name="replica-failover-under-load",
+        description=(f"zipf foreground load; pool {victim_pool!r} dies at "
+                     f"t={kill_at:g}; its primaries fail over to followers"),
+        actions=[
+            ScenarioAction(at=0.0, kind=WORKLOAD_PHASE, workload=load,
+                           label="zipf foreground load"),
+            ScenarioAction(at=kill_at, kind=KILL_POOL, target=victim_pool,
+                           label=f"kill {victim_pool}"),
+        ],
+    )
+
+
+def degraded_reads_during_catch_up(keys, victim_pool: str, *, seed: int = 0,
+                                   operations: int = 120,
+                                   read_operations: int = 120,
+                                   write_fraction: float = 0.5,
+                                   duration: float = 700.0,
+                                   kill_at: float = 300.0,
+                                   burst_duration: float = 150.0,
+                                   client_spacing: float = 60.0) -> Scenario:
+    """A read burst lands exactly in the failover window.
+
+    Phase one builds replicated state with a write-heavy load; the victim
+    pool then dies and a *read-heavy* burst arrives while its groups are
+    still detecting, catching up and promoting.  Follower stores keep
+    serving throughout (the degraded-reads window); only reads pinned to
+    the primary -- by policy or by their session floor -- defer until
+    promotion.  Compare ``RouterStats.failover_deferrals`` against
+    ``follower_reads`` to see the window in numbers.
+
+    Like the flash-crowd scenario, the burst is a *second* client
+    population (per-shard client index 1) with its own ``burst-*``
+    sessions, because its operations overlap the build-up tail and a
+    single client may only have one operation outstanding -- run this on
+    a simulation with ``writers_per_shard`` and ``readers_per_shard`` of
+    at least 2.
+    """
+    generator = WorkloadGenerator(seed=derive_seed(seed, "degraded-reads"),
+                                  client_spacing=client_spacing)
+    build = generator.zipf_keyed(keys, operations, write_fraction, kill_at,
+                                 s=1.0)
+    burst_generator = WorkloadGenerator(
+        seed=derive_seed(seed, "degraded-reads", "burst"),
+        client_spacing=client_spacing,
+    )
+    burst_raw = burst_generator.zipf_keyed(keys, read_operations, 0.1,
+                                           burst_duration, s=1.2)
+    burst = Workload(description=burst_raw.description + " (burst clients)")
+    for operation in burst_raw.operations:
+        burst.add(dc_replace(operation, client_index=operation.client_index + 1,
+                             session=f"burst-{operation.client_index + 1}"))
+    return Scenario(
+        name="degraded-reads-during-catch-up",
+        description=(f"write-heavy build-up; pool {victim_pool!r} dies at "
+                     f"t={kill_at:g} under a read burst served degraded by "
+                     f"followers"),
+        actions=[
+            ScenarioAction(at=0.0, kind=WORKLOAD_PHASE, workload=build,
+                           label="write-heavy build-up"),
+            ScenarioAction(at=kill_at, kind=KILL_POOL, target=victim_pool,
+                           label=f"kill {victim_pool}"),
+            ScenarioAction(at=kill_at, kind=WORKLOAD_PHASE, workload=burst,
+                           label="read burst during catch-up"),
+        ],
+    )
+
+
 __all__ = [
-    "FAIL_NODE", "RECOVER_NODE", "JOIN_POOL", "LEAVE_POOL",
+    "FAIL_NODE", "RECOVER_NODE", "JOIN_POOL", "LEAVE_POOL", "KILL_POOL",
     "LATENCY_SHIFT", "WORKLOAD_PHASE",
     "Scenario", "ScenarioAction", "ScenarioEngine",
     "repair_under_load", "migration_under_load",
     "correlated_pool_failure", "flash_crowd",
+    "replica_failover_under_load", "degraded_reads_during_catch_up",
 ]

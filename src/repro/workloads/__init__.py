@@ -25,7 +25,11 @@ from repro.workloads.runner import (
     WorkloadReport,
     WorkloadRunner,
 )
-from repro.workloads.metrics import LatencySummary, summarize_latencies
+from repro.workloads.metrics import (
+    LatencySummary,
+    ReadDistribution,
+    summarize_latencies,
+)
 
 __all__ = [
     "ScheduledOperation",
@@ -37,5 +41,6 @@ __all__ = [
     "KeyedWorkloadRunner",
     "WorkloadReport",
     "LatencySummary",
+    "ReadDistribution",
     "summarize_latencies",
 ]

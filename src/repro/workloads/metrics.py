@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Iterable, List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
 
 
 @dataclass(frozen=True)
@@ -51,4 +51,78 @@ def summarize_latencies(latencies: Iterable[float]) -> LatencySummary:
     )
 
 
-__all__ = ["LatencySummary", "percentile", "summarize_latencies"]
+@dataclass(frozen=True)
+class ReadDistribution:
+    """How a replica-routed read workload spread over the replicas.
+
+    Built from the router's counters (duck-typed, so any object exposing
+    ``reads_by_replica`` / ``primary_reads`` / ``follower_reads`` /
+    ``session_fallbacks`` / ``failover_deferrals`` / ``policy_hit_rate``
+    works); benchmarks assert on it to prove follower reads actually
+    offload the primaries and the routing policy's choices are honored.
+    """
+
+    #: Reads routed per pool (primary and follower routes combined; a read
+    #: stranded by a crash mid-flight stays counted against its replica).
+    counts: Dict[str, int] = field(default_factory=dict)
+    primary_reads: int = 0
+    follower_reads: int = 0
+    session_fallbacks: int = 0
+    failover_deferrals: int = 0
+    policy_hit_rate: float = 0.0
+
+    @classmethod
+    def from_router_stats(cls, stats) -> "ReadDistribution":
+        return cls(
+            counts=dict(stats.reads_by_replica),
+            primary_reads=stats.primary_reads,
+            follower_reads=stats.follower_reads,
+            session_fallbacks=stats.session_fallbacks,
+            failover_deferrals=stats.failover_deferrals,
+            policy_hit_rate=stats.policy_hit_rate,
+        )
+
+    @property
+    def total(self) -> int:
+        """Reads routed (failover-deferred, not-yet-routed reads excluded)."""
+        return self.primary_reads + self.follower_reads
+
+    @property
+    def follower_fraction(self) -> float:
+        """Share of routed reads handled by follower stores."""
+        return self.follower_reads / self.total if self.total else 0.0
+
+    @property
+    def mean(self) -> float:
+        values = list(self.counts.values())
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def max_over_mean(self) -> float:
+        """Peak-to-average ratio over the pools that received reads."""
+        if not self.counts or not self.mean:
+            return 0.0
+        return max(self.counts.values()) / self.mean
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """stddev / mean of per-pool serve counts (0 = perfectly even)."""
+        values = list(self.counts.values())
+        if not values or not self.mean:
+            return 0.0
+        variance = sum((v - self.mean) ** 2 for v in values) / len(values)
+        return math.sqrt(variance) / self.mean
+
+    def describe(self) -> str:
+        return (
+            f"ReadDistribution(total={self.total}, "
+            f"follower_fraction={self.follower_fraction:.2f}, "
+            f"cv={self.coefficient_of_variation:.2f}, "
+            f"hit_rate={self.policy_hit_rate:.2f}, "
+            f"fallbacks={self.session_fallbacks}, "
+            f"deferrals={self.failover_deferrals})"
+        )
+
+
+__all__ = ["LatencySummary", "ReadDistribution", "percentile",
+           "summarize_latencies"]

@@ -161,3 +161,61 @@ class TestDeriveSeed:
         for parts in [(0,), (1, "x"), (999, "a", "b", "c"), ("root", 3.5)]:
             seed = derive_seed(*parts)
             assert 0 <= seed < 2 ** 31
+
+
+class TestNodesForReplicaSets:
+    """Edge cases of the replica-placement primitive ``nodes_for``."""
+
+    def test_distinct_under_vnode_wraparound(self):
+        # With few members and many vnodes, walks starting near the end of
+        # the ring must wrap and still return distinct members for *every*
+        # key, including keys hashing past the last virtual node.
+        ring = build_ring(["a", "b", "c"], vnodes=4)
+        for i in range(500):
+            replicas = ring.nodes_for(f"key-{i}", 3)
+            assert len(replicas) == len(set(replicas)) == 3
+
+    def test_count_exceeding_membership_returns_every_member(self):
+        ring = build_ring(["a", "b"])
+        assert sorted(ring.nodes_for("k", 5)) == ["a", "b"]
+        assert sorted(ring.nodes_for("k", 2)) == ["a", "b"]
+
+    def test_count_one_matches_node_for(self):
+        ring = build_ring(["a", "b", "c", "d"])
+        for i in range(100):
+            key = f"key-{i}"
+            assert ring.nodes_for(key, 1) == [ring.node_for(key)]
+
+    def test_zero_or_negative_weight_nodes_are_rejected(self):
+        ring = build_ring(["a"])
+        import pytest
+        with pytest.raises(ValueError):
+            ring.add_node("zero", weight=0.0)
+        with pytest.raises(ValueError):
+            ring.add_node("negative", weight=-2.0)
+        assert "zero" not in ring and "negative" not in ring
+
+    def test_replica_sets_are_stable_under_unrelated_add_node(self):
+        # Consistent hashing: adding a member may only *insert* itself into
+        # a key's preference walk -- it never reorders the existing members.
+        # So the new replica set is the old one with at most the new node
+        # spliced in (and the tail pushed out), order preserved.
+        ring = build_ring(["a", "b", "c", "d"])
+        before = {f"key-{i}": ring.nodes_for(f"key-{i}", 3)
+                  for i in range(300)}
+        ring.add_node("e")
+        unchanged = 0
+        for key, old in before.items():
+            new = ring.nodes_for(key, 3)
+            assert set(new) <= set(old) | {"e"}
+            survivors = [node for node in new if node != "e"]
+            assert survivors == [node for node in old
+                                 if node in survivors], (
+                f"{key}: relative order changed: {old} -> {new}"
+            )
+            if new == old:
+                unchanged += 1
+        # A key's set is untouched iff the new node does not enter its
+        # first-3 walk -- roughly (P - r) / P of the keyspace for r=3 of
+        # P=5 members.  Assert a conservative floor on that fraction.
+        assert unchanged >= 0.2 * len(before)

@@ -82,3 +82,57 @@ class TestEligibility:
         ])
         with pytest.raises(InjectionError):
             inject_session_violation(history, "monotonic-reads")
+
+
+class TestStaleFollowerInjection:
+    def replicated_history(self) -> History:
+        """A session whose last read was served by a replica follower."""
+        return History([
+            op("w1", WRITE, 0, 1, tag=1, value=b"a"),
+            op("w2", WRITE, 4, 5, tag=2, value=b"b"),
+            op("fr1", READ, 8, 9, tag=2, value=b"b",
+               client="replica:pool-1/reader-0"),
+        ])
+
+    def test_demoted_follower_read_is_detected(self):
+        from repro.consistency.injection import (
+            inject_stale_follower_read,
+            is_follower_read,
+        )
+        history = self.replicated_history()
+        assert check_sessions(history).ok
+        injection = inject_stale_follower_read(history)
+        assert injection.mutated == ("fr1",)
+        assert injection.guarantee == "read-your-writes"
+        report = check_sessions(injection.history)
+        assert not report.ok
+        assert any("fr1" in violation.operations
+                   for violation in report.violations)
+        mutated = next(o for o in injection.history if o.op_id == "fr1")
+        assert is_follower_read(mutated)
+        assert mutated.tag == 1  # demoted to w1's version
+
+    def test_monotonic_reads_labelled_when_the_witness_is_a_read(self):
+        from repro.consistency.injection import inject_stale_follower_read
+        history = History([
+            op("w1", WRITE, 0, 1, tag=1, value=b"a", session="writer"),
+            op("w2", WRITE, 2, 3, tag=2, value=b"b", session="writer"),
+            op("r1", READ, 4, 5, tag=2, value=b"b"),
+            op("fr1", READ, 8, 9, tag=2, value=b"b",
+               client="replica:pool-1/reader-0"),
+        ])
+        injection = inject_stale_follower_read(history)
+        assert injection.guarantee == "monotonic-reads"
+        assert not check_sessions(injection.history).ok
+
+    def test_history_without_follower_reads_has_no_site(self):
+        from repro.consistency.injection import (
+            InjectionError,
+            inject_stale_follower_read,
+        )
+        history = History([
+            op("w1", WRITE, 0, 1, tag=1, value=b"a"),
+            op("r1", READ, 2, 3, tag=1, value=b"a"),
+        ])
+        with pytest.raises(InjectionError, match="follower"):
+            inject_stale_follower_read(history)

@@ -223,3 +223,80 @@ class TestStatsAndTrace:
 
         assert run() == run()
         assert run() != GlobalScheduler().fingerprint
+
+
+class TestHeapSelection:
+    """The O(log S) head heap must replay the linear scan's order exactly."""
+
+    def test_cross_source_scheduling_reindexes_the_target_head(self):
+        # An event on A schedules an *earlier* event on B than anything the
+        # kernel knew about; the head listener must surface it immediately.
+        kernel = GlobalScheduler()
+        sim_a = Simulator()
+        sim_b = Simulator()
+        kernel.register_simulator(sim_a, name="a")
+        kernel.register_simulator(sim_b, name="b")
+        log = []
+        sim_a.schedule_at(1.0, lambda: sim_b.schedule_at(
+            2.0, _recorder(kernel, log, "b")))
+        sim_a.schedule_at(10.0, _recorder(kernel, log, "a"))
+        kernel.run_until_idle()
+        assert log == [("b", 2.0), ("a", 10.0)]
+
+    def test_cancelled_head_is_skipped_for_the_next_real_head(self):
+        kernel = GlobalScheduler()
+        sim_a = Simulator()
+        sim_b = Simulator()
+        kernel.register_simulator(sim_a, name="a")
+        kernel.register_simulator(sim_b, name="b")
+        log = []
+        doomed = sim_a.schedule_at(1.0, _recorder(kernel, log, "a-doomed"))
+        sim_a.schedule_at(5.0, _recorder(kernel, log, "a"))
+        sim_b.schedule_at(3.0, _recorder(kernel, log, "b"))
+        doomed.cancel()
+        kernel.run_until_idle()
+        assert log == [("b", 3.0), ("a", 5.0)]
+
+    def test_clamped_heads_tie_break_by_registration_order(self):
+        # Two sources whose raw head times lie in the global past are both
+        # effectively due "now"; the first-registered one must win even if
+        # its raw head time is later -- the linear scan's exact semantics.
+        kernel = GlobalScheduler()
+        sim_a = Simulator()
+        sim_b = Simulator()
+        kernel.register_simulator(sim_a, name="a")
+        kernel.register_simulator(sim_b, name="b")
+        kernel.schedule_at(10.0, lambda: None)
+        kernel.run_until_idle()
+        assert kernel.now == 10.0
+        log = []
+        sim_a.schedule_at(5.0, _recorder(kernel, log, "a"))
+        sim_b.schedule_at(3.0, _recorder(kernel, log, "b"))
+        head = kernel.peek()
+        assert head == (10.0, "a")
+        kernel.run_until_idle()
+        assert [name for name, _ in log] == ["a", "b"]
+        # Both executed at the clamped global time.
+        assert [t for _, t in log] == [10.0, 10.0]
+
+    def test_unregistered_source_entries_are_discarded(self):
+        kernel = GlobalScheduler()
+        sim_a = Simulator()
+        sim_b = Simulator()
+        kernel.register_simulator(sim_a, name="a")
+        kernel.register_simulator(sim_b, name="b")
+        sim_a.schedule_at(1.0, lambda: None)
+        sim_b.schedule_at(2.0, lambda: None)
+        kernel.unregister("a")
+        assert kernel.peek() == (2.0, "b")
+        kernel.run_until_idle()
+        assert kernel.now == 2.0
+
+    def test_peek_is_idempotent_and_matches_step(self):
+        kernel = GlobalScheduler()
+        sim = Simulator()
+        kernel.register_simulator(sim, name="s")
+        sim.schedule_at(4.0, lambda: None)
+        assert kernel.peek() == kernel.peek() == (4.0, "s")
+        assert kernel.step()
+        assert kernel.now == 4.0

@@ -91,3 +91,47 @@ class TestKeyedRunnerSessions:
         assert report.is_atomic
         assert len(report.history) == 12
         assert all(op.session == "client-0" for op in report.history)
+
+
+class TestReadDistribution:
+    def _stats(self):
+        from repro.cluster.router import RouterStats
+        stats = RouterStats()
+        stats.primary_reads = 4
+        stats.follower_reads = 6
+        stats.session_fallbacks = 1
+        stats.failover_deferrals = 2
+        stats.policy_choices = 10
+        stats.policy_honored = 9
+        stats.reads_by_replica = {"pool-0": 4, "pool-1": 3, "pool-2": 3}
+        return stats
+
+    def test_from_router_stats(self):
+        from repro.workloads.metrics import ReadDistribution
+        distribution = ReadDistribution.from_router_stats(self._stats())
+        assert distribution.total == 10
+        assert distribution.follower_fraction == 0.6
+        assert distribution.policy_hit_rate == 0.9
+        assert distribution.session_fallbacks == 1
+        assert distribution.failover_deferrals == 2
+        assert distribution.counts == {"pool-0": 4, "pool-1": 3, "pool-2": 3}
+
+    def test_balance_measures(self):
+        from repro.workloads.metrics import ReadDistribution
+        even = ReadDistribution(counts={"a": 5, "b": 5}, primary_reads=5,
+                                follower_reads=5)
+        assert even.coefficient_of_variation == 0.0
+        assert even.max_over_mean == 1.0
+        skewed = ReadDistribution(counts={"a": 9, "b": 1}, primary_reads=9,
+                                  follower_reads=1)
+        assert skewed.max_over_mean == pytest.approx(1.8)
+        assert skewed.coefficient_of_variation > 0.5
+
+    def test_empty_distribution_is_all_zeros(self):
+        from repro.workloads.metrics import ReadDistribution
+        empty = ReadDistribution()
+        assert empty.total == 0
+        assert empty.follower_fraction == 0.0
+        assert empty.mean == 0.0
+        assert empty.coefficient_of_variation == 0.0
+        assert "total=0" in empty.describe()

@@ -9,10 +9,26 @@ survive pytest output capturing.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, Sequence
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_json(filename: str, payload) -> str:
+    """Persist a machine-readable result next to the text tables.
+
+    ``filename`` is taken verbatim (e.g. ``BENCH_quorum_reads.json``) so
+    downstream tooling can address the artefact by a stable name; returns
+    the written path.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, filename)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def emit_table(experiment: str, title: str, header: Sequence[str],

@@ -46,6 +46,7 @@ from repro.cluster.replicas import (
     LeastLoadedPolicy,
     NearestPolicy,
     PrimaryOnlyPolicy,
+    QuorumReadPolicy,
     ReadRoutingPolicy,
     ReplicaCoordinator,
     ReplicaGroup,
@@ -80,6 +81,7 @@ __all__ = [
     "LeastLoadedPolicy",
     "NearestPolicy",
     "PrimaryOnlyPolicy",
+    "QuorumReadPolicy",
     "ReadRoutingPolicy",
     "ReplicaCoordinator",
     "ReplicaGroup",

@@ -121,9 +121,10 @@ class ShardedCluster:
 
     def invoke_write(self, key: str, value: bytes, writer: Union[int, str] = 0,
                      at: Optional[float] = None,
-                     session: Optional[str] = None) -> str:
+                     session: Optional[str] = None,
+                     via: Optional[str] = None) -> str:
         return self.router.invoke_write(key, value, writer=writer, at=at,
-                                        session=session)
+                                        session=session, via=via)
 
     def invoke_read(self, key: str, reader: Union[int, str] = 0,
                     at: Optional[float] = None,

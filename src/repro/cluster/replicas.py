@@ -26,7 +26,23 @@ execution order.
   :class:`~repro.net.latency.LatencyRegime`, so regime shifts slow
   follower reads exactly like protocol traffic);
 * ``least-loaded`` -- reads go to the replica with the fewest in-flight
-  (then fewest served) reads.
+  (then fewest served) reads;
+* ``quorum`` -- the paper-faithful mode: each read queries
+  ``read_quorum`` of the r stores (a rotating window over the canonical
+  replica order), merges their ``(epoch, tag)`` versions and returns the
+  maximum-version value.  A merge that observes a store *below* the
+  merged maximum triggers **read repair** -- the lagging store is caught
+  up from the replication log at the merge instant instead of waiting
+  out the replication lag (``read_repair=False`` restores lag-only
+  catch-up for comparison).
+
+**Write forwarding.**  With ``write_ingress="nearest"`` (or an explicit
+``via=`` pool on ``invoke_write``) a write arrives at the client's
+nearest replica pool; when that pool is a follower the write is
+*forwarded* to the primary, charged one distance-scaled forwarding hop on
+the global clock.  Forwarding keeps working through a failover freeze:
+the forwarded write queues at the frozen primary slot and flushes into
+the promoted epoch, so clients never track who the primary is.
 
 A follower read returns the follower's *applied* version, which may lag
 the primary -- safe for fresh sessions, dangerous for a session that has
@@ -63,10 +79,16 @@ sequence is reproducible event for event.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
-from repro.cluster.membership import FAIL, RECOVER, Membership, MembershipEvent
+from repro.cluster.membership import (
+    FAIL,
+    JOIN,
+    RECOVER,
+    Membership,
+    MembershipEvent,
+)
 from repro.cluster.placement import DROP_FOLLOWER
 from repro.cluster.ring import derive_seed
 from repro.consistency.history import History, Operation, READ, WRITE
@@ -119,6 +141,29 @@ class ReplicationConfig:
     #: *fault injection*: stale follower reads reach clients and the
     #: session auditor must catch them.
     session_guard: bool = True
+    #: Stores queried per read under the ``quorum`` routing policy (the
+    #: paper's r'-of-r discovery quorum).  None defaults to a majority
+    #: (``r // 2 + 1``); must stay within [1, r].  Setting it with any
+    #: other policy is a configuration error (the knob would silently do
+    #: nothing).
+    read_quorum: Optional[int] = None
+    #: When a quorum merge observes a store below the merged maximum
+    #: version, apply the group's log to it immediately (kernel-clocked at
+    #: the merge instant) instead of waiting out the replication lag.
+    #: Disable to measure lag-only catch-up.
+    read_repair: bool = True
+    #: Base one-hop latency of forwarding a write from the ingress replica
+    #: to the primary (scaled by the ingress store's seeded distance and
+    #: the shared latency regime, exactly like follower reads).
+    forward_latency: float = 2.0
+    #: Where writes enter the group: ``"primary"`` assumes clients know
+    #: the primary (the pre-forwarding behaviour, bit for bit); with
+    #: ``"nearest"`` every write arrives at the client's seeded-nearest
+    #: replica pool and is *forwarded* to the primary when that pool is a
+    #: follower -- including during a failover freeze, where the
+    #: forwarded write queues at the frozen primary slot and flushes into
+    #: the promoted epoch.
+    write_ingress: str = "primary"
     #: Seed for replica distances and lag jitter (derive_seed'd per use).
     #: None means unpinned: facades thread their root seed in; a bare
     #: router just derives from None (still deterministic).
@@ -130,9 +175,17 @@ class ReplicationConfig:
         for name in ("replication_lag", "lag_jitter", "follower_read_latency",
                      "failover_detection_delay", "catch_up_per_record",
                      "provision_delay", "follower_read_cost",
-                     "replication_unit_cost"):
+                     "replication_unit_cost", "forward_latency"):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+        if self.read_quorum is not None and \
+                not 1 <= self.read_quorum <= self.r:
+            raise ValueError("read_quorum must be within [1, r]")
+        if self.write_ingress not in ("primary", "nearest"):
+            raise ValueError(
+                f"unknown write ingress {self.write_ingress!r}; "
+                "choose 'primary' or 'nearest'"
+            )
 
 
 @dataclass(frozen=True)
@@ -170,6 +223,12 @@ class FollowerStore:
         self.value = value
         self.created_at = created_at
         self.applied: Set[int] = set()
+        #: Log prefix this store is known to have fully applied: every
+        #: record in ``group.log[:log_position]`` is in ``applied``.
+        #: Bulk catch-ups (read repair, promotion, provisioning seeds)
+        #: advance it so later passes scan only the genuinely new tail;
+        #: out-of-order lag applies land in ``applied`` without moving it.
+        self.log_position = 0
         self.applies = 0
         self.reads_in_flight = 0
         self.reads_served = 0
@@ -222,6 +281,16 @@ class ReadRoutingPolicy(ABC):
     def choose(self, key: str, candidates: List[ReplicaView]) -> Optional[str]:
         """Return the pool to read from (``None`` = wait for the primary)."""
 
+    def rejected(self, key: str, pool: str) -> None:
+        """The coordinator could not honor ``choose``'s answer for ``key``
+        (session guard override, or the chosen store turned out retired).
+
+        Stateful policies use this to undo the turn they spent on the
+        rejected choice, so a temporarily lagging replica keeps its place
+        in a deterministic cycle instead of being skipped for good.  The
+        default is a no-op (stateless policies have nothing to undo).
+        """
+
 
 class PrimaryOnlyPolicy(ReadRoutingPolicy):
     """Every read runs the full protocol read at the primary."""
@@ -250,6 +319,50 @@ class RoundRobinPolicy(ReadRoutingPolicy):
         self._counters[key] = index + 1
         return candidates[index % len(candidates)].pool
 
+    def rejected(self, key: str, pool: str) -> None:
+        # Give the turn back: the rejected replica is re-offered on the
+        # next read, so a lagging follower resumes its place in the cycle
+        # the moment it catches up instead of losing a turn per rejection.
+        self._counters[key] = max(0, self._counters.get(key, 1) - 1)
+
+
+class QuorumReadPolicy(ReadRoutingPolicy):
+    """Reads fan out to a quorum of stores and merge their versions.
+
+    The paper resolves every read by querying a *quorum* of servers,
+    taking the maximum tag and reading that version; this policy is the
+    replica layer's analogue: each read queries ``read_quorum`` of the
+    group's r stores (the primary answers from its committed log head at
+    store-read latency, followers from their applied state), the
+    coordinator merges the ``(epoch, tag)`` versions and returns the
+    maximum-version value.  The quorum *window* rotates deterministically
+    over the canonical replica order per key, so successive reads spread
+    load and periodically form follower-only quorums -- the case where a
+    lagging store loses the merge and (with ``read_repair``) is caught up
+    on the spot.
+    """
+
+    name = "quorum"
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+
+    def choose(self, key: str, candidates: List[ReplicaView]) -> Optional[str]:
+        chosen = self.choose_quorum(key, candidates, 1)
+        return chosen[0] if chosen else None
+
+    def choose_quorum(self, key: str, candidates: List[ReplicaView],
+                      quorum: int) -> List[str]:
+        """The pools to query: ``quorum`` consecutive candidates starting
+        at a per-key rotating offset (distinct by construction)."""
+        if not candidates:
+            return []
+        quorum = min(quorum, len(candidates))
+        start = self._counters.get(key, 0)
+        self._counters[key] = start + 1
+        return [candidates[(start + i) % len(candidates)].pool
+                for i in range(quorum)]
+
 
 class NearestPolicy(ReadRoutingPolicy):
     """Reads go to the replica with the smallest seeded distance."""
@@ -277,6 +390,7 @@ class LeastLoadedPolicy(ReadRoutingPolicy):
 _POLICIES = {
     PrimaryOnlyPolicy.name: PrimaryOnlyPolicy,
     RoundRobinPolicy.name: RoundRobinPolicy,
+    QuorumReadPolicy.name: QuorumReadPolicy,
     NearestPolicy.name: NearestPolicy,
     LeastLoadedPolicy.name: LeastLoadedPolicy,
 }
@@ -363,6 +477,26 @@ class ReplicaStats:
     followers_provisioned: int = 0
     followers_lost: int = 0
     catch_up_records: int = 0
+    #: Log records applied by quorum-merge read repair (outside the
+    #: normal lag applies counted in ``records_applied``).
+    read_repair_records: int = 0
+
+
+@dataclass
+class _PendingQuorumRead:
+    """One in-flight quorum read: outstanding legs and their answers."""
+
+    handle: str
+    group: ReplicaGroup
+    reader: Union[int, str]
+    session: Optional[str]
+    invoked_at: float
+    outstanding: int
+    #: ``(version, value, store)`` per successful leg; ``store`` is None
+    #: for the primary leg.
+    responses: List[Tuple[Version, Optional[bytes],
+                          Optional[FollowerStore]]] = field(
+        default_factory=list)
 
 
 class ReplicaCoordinator:
@@ -379,12 +513,36 @@ class ReplicaCoordinator:
         self.router = router
         self.config = config
         self.policy = make_read_policy(read_policy)
+        if isinstance(self.policy, QuorumReadPolicy):
+            self.read_quorum = (config.read_quorum
+                                if config.read_quorum is not None
+                                else config.r // 2 + 1)
+        else:
+            if config.read_quorum is not None:
+                raise ValueError(
+                    "read_quorum only applies to the 'quorum' read policy; "
+                    f"the configured policy is {self.policy.name!r}"
+                )
+            self.read_quorum = None
         self.membership: Membership = router.membership
+        for pool in self.membership.pools:
+            self._check_pool_name(pool)
         self.groups: Dict[str, ReplicaGroup] = {}
         #: Follower-read handle -> completed result.
         self._results: Dict[str, OperationResult] = {}
         #: Handles of follower reads dispatched but not yet completed.
         self._pending: Set[str] = set()
+        #: Handle -> in-flight quorum read state.
+        self._quorums: Dict[str, _PendingQuorumRead] = {}
+        #: Handles already counted in ``RouterStats.quorum_reads`` whose
+        #: merge fell back to the primary: the protocol re-dispatch must
+        #: not count the same logical read again in ``primary_reads``.
+        self._quorum_counted: Set[str] = set()
+        #: Per-handle communication cost of served quorum reads (one
+        #: store-read cost per merged leg).
+        self._handle_costs: Dict[str, float] = {}
+        #: Handles of writes forwarded follower->primary, still in flight.
+        self._forwarding: Set[str] = set()
         #: (session, key) -> highest version the session has observed.
         self._floors: Dict[Tuple[str, str], Version] = {}
         self._seq = 0
@@ -394,7 +552,7 @@ class ReplicaCoordinator:
         self.read_cost = 0.0
         #: (global_time, kind, detail) for the harness timeline:
         #: ``primary-down`` / ``promote`` / ``follower-lost`` /
-        #: ``follower-provisioned`` / ``unserviceable``.
+        #: ``follower-provisioned`` / ``unserviceable`` / ``read-repair``.
         self.failover_log: List[Tuple[float, str, str]] = []
         self.stats = ReplicaStats()
         #: Optional shared latency regime scaling follower-read latency.
@@ -402,6 +560,12 @@ class ReplicaCoordinator:
         #: Pools whose kill was already processed (fail_pool delivers one
         #: FAIL event per node; only the first needs the group scan).
         self._dead_pools: Set[str] = set()
+        #: Times each pool has gone fully down, ever.  Quorum primary
+        #: legs capture the count at dispatch: a pool that crashed while
+        #: the leg was in flight stays silent even if it has since
+        #: recovered (recovery empties ``_dead_pools``, but it cannot
+        #: un-lose an in-flight request).
+        self._pool_crashes: Dict[str, int] = {}
         self.membership.subscribe(self._on_membership_event)
 
     # -- wiring ------------------------------------------------------------------
@@ -431,9 +595,20 @@ class ReplicaCoordinator:
                 % 10_000) / 10_000.0
         return unit * self.config.lag_jitter
 
+    def _scaled_latency(self, distance: float, base: float) -> float:
+        """One replica hop: seeded distance x base cost x regime scale.
+
+        The single definition of how the shared latency regime scales
+        replica traffic -- store reads, quorum legs and forwarding hops
+        all price through it.
+        """
+        scale = (self.latency_regime.scale
+                 if self.latency_regime is not None else 1.0)
+        return distance * base * scale
+
     def _read_latency(self, store: FollowerStore) -> float:
-        scale = self.latency_regime.scale if self.latency_regime is not None else 1.0
-        return store.distance * self.config.follower_read_latency * scale
+        return self._scaled_latency(store.distance,
+                                    self.config.follower_read_latency)
 
     # -- group lifecycle ------------------------------------------------------------
 
@@ -583,21 +758,9 @@ class ReplicaCoordinator:
 
     # -- read routing --------------------------------------------------------------------
 
-    def invoke_read(self, key: str, reader: Union[int, str] = 0,
-                    at: Optional[float] = None,
-                    session: Optional[str] = None) -> str:
-        """Route one read: follower serve, primary queue, or failover defer.
-
-        The routing decision is made at invocation time (the kernel's
-        arrival events invoke at their nominal global time, so for
-        workload traffic this *is* the arrival instant).
-        """
-        shard = self.router.shard(key)  # also creates the group
-        group = self.groups[key]
-        handle = self.router._new_replica_handle(key)
-        now = self._now()
-        dispatch_at = now if at is None else max(at, now)
-
+    def _candidates(self, group: ReplicaGroup) -> List[ReplicaView]:
+        """The replicas able to serve right now, in canonical order (the
+        primary is absent while the group is failing over)."""
         candidates: List[ReplicaView] = []
         order = 0
         if group.status == NORMAL:
@@ -616,25 +779,73 @@ class ReplicaCoordinator:
                 reads_served=store.reads_served, order=order,
             ))
             order += 1
+        return candidates
 
+    def invoke_read(self, key: str, reader: Union[int, str] = 0,
+                    at: Optional[float] = None,
+                    session: Optional[str] = None) -> str:
+        """Route one read: quorum fan-out, follower serve, primary queue,
+        or failover defer.
+
+        The routing decision is made at invocation time (the kernel's
+        arrival events invoke at their nominal global time, so for
+        workload traffic this *is* the arrival instant).
+        """
+        self.router.shard(key)  # also creates the group
+        group = self.groups[key]
+        handle = self.router._new_replica_handle(key)
+        now = self._now()
+        # A late-scheduled arrival (nominal ``at`` already in the past)
+        # dispatches at the clock, never before it -- on *every* path, so
+        # primary- and follower-served reads of the same arrival batch get
+        # consistent invocation timestamps.
+        dispatch_at = now if at is None else max(at, now)
+        clamped_at = None if at is None else dispatch_at
+
+        if self.read_quorum is not None:
+            return self._invoke_quorum_read(group, handle, reader,
+                                            dispatch_at, session)
+
+        candidates = self._candidates(group)
         choice = self.policy.choose(key, candidates)
         stats = self.router.stats
         if choice is not None:
             stats.policy_choices += 1
         routed = choice
-        if routed is not None and routed != group.primary_pool:
+        store = None
+        rejected: Set[str] = set()
+        remaining = candidates
+        while routed is not None and routed != group.primary_pool:
+            if routed in rejected:
+                # A policy ignoring the reduced list (e.g. a stale cache)
+                # re-named an already-rejected pool: stop retrying.
+                routed = None
+                break
             store = group.follower(routed)
+            floor = (self.session_floor(session, key)
+                     if self.config.session_guard else None)
             if store is None:
-                routed = group.primary_pool if group.status == NORMAL else None
-            elif self.config.session_guard:
-                floor = self.session_floor(session, key)
-                if floor is not None and store.version < floor:
-                    # The follower has not caught up to what this session
-                    # already observed: fall back to the primary.
-                    routed = group.primary_pool if group.status == NORMAL else None
-                    stats.session_fallbacks += 1
-
-        if routed is not None and routed != group.primary_pool:
+                # The policy named a pool without a live store (e.g. a
+                # stale cache of a just-retired follower): reject, but
+                # visibly.
+                stats.retired_fallbacks += 1
+            elif floor is not None and store.version < floor:
+                # The follower has not caught up to what this session
+                # already observed.
+                stats.session_fallbacks += 1
+                store = None
+            else:
+                break  # a serviceable follower
+            # Rejected: give the policy its turn back and re-offer the
+            # *reduced* candidate list, so the turn passes to the next
+            # replica instead of collapsing straight onto the primary (a
+            # lagging follower must not starve its healthy peers).
+            self.policy.rejected(key, routed)
+            rejected.add(routed)
+            remaining = [view for view in remaining if view.pool != routed]
+            routed = self.policy.choose(key, remaining)
+        if routed is not None and routed != group.primary_pool \
+                and store is not None:
             if routed == choice:
                 stats.policy_honored += 1
             self._serve_follower_read(group, store, handle, reader,
@@ -650,16 +861,25 @@ class ReplicaCoordinator:
             return handle
         if routed == choice and choice is not None:
             stats.policy_honored += 1
-        self._dispatch_primary_read(group, handle, reader, at, session)
+        self._dispatch_primary_read(group, handle, reader, clamped_at, session)
         return handle
 
     def _dispatch_primary_read(self, group: ReplicaGroup, handle: str,
                                reader: Union[int, str], at: Optional[float],
                                session: Optional[str]) -> None:
         """Queue one read on the group's primary, with the shared accounting
-        (also used when failover-deferred reads flush at promotion)."""
+        (also used when failover-deferred reads flush at promotion).
+
+        A read that already counted as a quorum read (its merge fell back
+        here) is one *logical* read: it stays in ``quorum_reads`` and is
+        excluded from ``primary_reads``, so ``routed_reads`` counts every
+        read exactly once however it was resolved.
+        """
         stats = self.router.stats
-        stats.primary_reads += 1
+        if handle in self._quorum_counted:
+            self._quorum_counted.discard(handle)
+        else:
+            stats.primary_reads += 1
         stats.reads_by_replica[group.primary_pool] = (
             stats.reads_by_replica.get(group.primary_pool, 0) + 1
         )
@@ -687,14 +907,15 @@ class ReplicaCoordinator:
         respond_at = at + self._read_latency(store)
         self.kernel.schedule_at(
             max(respond_at, self._now()),
-            lambda: self._complete_follower_read(group, store, handle, reader,
-                                                 at, session),
+            lambda crashes=self._pool_crashes.get(store.pool, 0):
+                self._complete_follower_read(group, store, handle, reader,
+                                             at, session, crashes),
         )
 
     def _complete_follower_read(self, group: ReplicaGroup, store: FollowerStore,
                                 handle: str, reader: Union[int, str],
-                                invoked_at: float,
-                                session: Optional[str]) -> None:
+                                invoked_at: float, session: Optional[str],
+                                crashes_at_dispatch: int) -> None:
         now = self._now()
         store.reads_in_flight -= 1
         epoch, tag = store.version
@@ -702,11 +923,13 @@ class ReplicaCoordinator:
         op_id = (f"{group.key}/{REPLICA_CLIENT_PREFIX}{store.pool}"
                  f"/read-{group.next_read_id()}")
         client_id = f"{REPLICA_CLIENT_PREFIX}{store.pool}/reader-{reader}"
-        if store.retired:
-            # The store's pool died (or the store was dropped) while the
-            # read was in flight: like in-flight operations at a crashed
-            # primary, it never responds.  Recorded as incomplete so the
-            # merged history tells the truth; the handle stays pending.
+        if self._pool_crashes.get(store.pool, 0) != crashes_at_dispatch:
+            # The store's pool *crashed* while the read was in flight:
+            # like in-flight operations at a crashed primary, it never
+            # responds.  Recorded as incomplete so the merged history
+            # tells the truth; the handle stays pending.  A graceful
+            # retirement (rebalance drop, promotion) is not a crash: the
+            # store served until it was dropped and its answer stands.
             group.history.add(Operation(
                 op_id=op_id, client_id=client_id, kind=READ,
                 object_id=object_id, invoked_at=invoked_at, session=session,
@@ -727,20 +950,294 @@ class ReplicaCoordinator:
         self._bump_floor(session, group.key, (epoch, tag))
         self.read_cost += self.config.follower_read_cost
 
+    # -- quorum reads --------------------------------------------------------------------
+
+    def _invoke_quorum_read(self, group: ReplicaGroup, handle: str,
+                            reader: Union[int, str], dispatch_at: float,
+                            session: Optional[str]) -> str:
+        """Fan one read out to ``read_quorum`` stores and merge the answers.
+
+        Every leg is a *store read*: followers answer from their applied
+        state, the primary from its committed log head
+        (``group.latest_*``), each at store-read latency scaled by its
+        seeded distance and the shared latency regime -- the paper's
+        query-a-quorum-of-servers discovery, not a full protocol read.
+        The read completes when the last leg resolves; a leg whose store
+        dies mid-flight resolves as *failed*, so the merge degrades to the
+        surviving answers instead of hanging.
+        """
+        stats = self.router.stats
+        candidates = self._candidates(group)
+        if not candidates:
+            # Failing over with no live follower: defer to the promoted
+            # primary like any other primary-bound read.
+            group.deferred_reads.append((handle, reader, dispatch_at, session))
+            self._pending.add(handle)
+            stats.failover_deferrals += 1
+            return handle
+        pools = self.policy.choose_quorum(group.key, candidates,
+                                          self.read_quorum)
+        stats.quorum_reads += 1
+        stats.policy_choices += 1
+        views = {view.pool: view for view in candidates}
+        pending = _PendingQuorumRead(
+            handle=handle, group=group, reader=reader, session=session,
+            invoked_at=dispatch_at, outstanding=len(pools),
+        )
+        self._quorums[handle] = pending
+        self._pending.add(handle)
+        now = self._now()
+        for pool in pools:
+            view = views[pool]
+            store = None if view.is_primary else group.follower(pool)
+            if store is not None:
+                store.reads_in_flight += 1
+            group.dispatched[pool] = group.dispatched.get(pool, 0) + 1
+            stats.reads_by_replica[pool] = (
+                stats.reads_by_replica.get(pool, 0) + 1
+            )
+            latency = self._scaled_latency(view.distance,
+                                           self.config.follower_read_latency)
+            self.kernel.schedule_at(
+                max(dispatch_at + latency, now),
+                lambda pool=pool, store=store,
+                crashes=self._pool_crashes.get(pool, 0):
+                    self._complete_quorum_leg(pending, pool, store, crashes),
+            )
+        return handle
+
+    def _complete_quorum_leg(self, pending: _PendingQuorumRead, pool: str,
+                             store: Optional[FollowerStore],
+                             crashes_at_dispatch: int) -> None:
+        pending.outstanding -= 1
+        group = pending.group
+        if store is not None:
+            store.reads_in_flight -= 1
+            # Same crash-generation rule as the single-store path: only a
+            # pool crash during the flight silences the leg; a graceful
+            # retirement answers from the state the store served until.
+            if self._pool_crashes.get(pool, 0) == crashes_at_dispatch:
+                store.reads_served += 1
+                self.read_cost += self.config.follower_read_cost
+                pending.responses.append((store.version, store.value, store))
+        elif self._pool_crashes.get(pool, 0) == crashes_at_dispatch:
+            # The primary leg answers from the committed log head, sampled
+            # at response time.  Only a *crash* of the queried pool while
+            # the leg was in flight silences it -- compared by crash
+            # generation, so a crash-then-recover inside the window stays
+            # silent (recovery cannot un-lose the request), while a
+            # benign mid-flight migration (or a graceful leave, which
+            # drains first) still answers, and the head only grows, so
+            # the answer stands.  Crash semantics match the follower
+            # legs' permanent ``retired`` flag.
+            self.read_cost += self.config.follower_read_cost
+            pending.responses.append(
+                (group.latest_version, group.latest_value, None))
+        if pending.outstanding == 0:
+            self._merge_quorum(pending)
+
+    def _merge_quorum(self, pending: _PendingQuorumRead) -> None:
+        group = pending.group
+        handle = pending.handle
+        session = pending.session
+        now = self._now()
+        del self._quorums[handle]
+        stats = self.router.stats
+        depth = len(pending.responses)
+        stats.quorum_depths[depth] = stats.quorum_depths.get(depth, 0) + 1
+        op_id = (f"{group.key}/{REPLICA_CLIENT_PREFIX}quorum"
+                 f"/read-{group.next_read_id()}")
+        client_id = (f"{REPLICA_CLIENT_PREFIX}quorum"
+                     f"/reader-{pending.reader}")
+        if not pending.responses:
+            # Every queried store died mid-flight: like a single stranded
+            # follower read, the operation never responds and the merged
+            # history records the truth.
+            group.history.add(Operation(
+                op_id=op_id, client_id=client_id, kind=READ,
+                object_id=join_object_id(group.key, group.epoch),
+                invoked_at=pending.invoked_at, session=session,
+            ))
+            return
+        version, value, _ = max(pending.responses, key=lambda r: r[0])
+        if self.config.read_repair:
+            self._read_repair(group, pending.responses, version, now)
+        floor = self.session_floor(session, group.key)
+        if self.config.session_guard and floor is not None \
+                and version < floor:
+            # The whole quorum lags what this session already observed
+            # (a follower-only window): fall back to a full protocol read
+            # at the primary.  The legs' transfer cost was still paid.
+            stats.session_fallbacks += 1
+            self._quorum_counted.add(handle)
+            if group.status != NORMAL:
+                group.deferred_reads.append(
+                    (handle, pending.reader, now, session))
+                stats.failover_deferrals += 1
+                return
+            self._pending.discard(handle)
+            self._dispatch_primary_read(group, handle, pending.reader, now,
+                                        session)
+            self.router.flush_key(group.key)
+            return
+        stats.policy_honored += 1
+        epoch, tag = version
+        group.history.add(Operation(
+            op_id=op_id, client_id=client_id, kind=READ,
+            object_id=join_object_id(group.key, epoch), value=value,
+            invoked_at=pending.invoked_at, responded_at=now, tag=tag,
+            session=session,
+        ))
+        self._results[handle] = OperationResult(
+            op_id=op_id, client_id=client_id, kind=READ, tag=tag,
+            value=value, invoked_at=pending.invoked_at, responded_at=now,
+        )
+        self._handle_costs[handle] = depth * self.config.follower_read_cost
+        self._pending.discard(handle)
+        self._bump_floor(session, group.key, version)
+
+    def _read_repair(self, group: ReplicaGroup, responses, merged: Version,
+                     now: float) -> None:
+        """Catch up the quorum members the merge observed stale.
+
+        Only stores that *answered this quorum* are repaired (follower
+        pairs that never met in a quorum drift until the lag fan-out or a
+        later merge catches them -- anti-entropy between followers is a
+        tracked follow-up).  The repairer holds the whole replication
+        log, so an observed-stale store is brought fully current
+        (idempotent applies; records the normal lag fan-out delivers
+        later are simply skipped), charged like any other replication
+        traffic -- the immediate alternative to waiting out the lag.
+        """
+        stats = self.router.stats
+        for _, _, store in responses:
+            if store is None or store.retired or store.version >= merged:
+                continue
+            applied = sum(1 for record in group.log[store.log_position:]
+                          if store.apply(record))
+            store.log_position = len(group.log)
+            if not applied:
+                continue
+            stats.read_repairs += 1
+            self.stats.read_repair_records += applied
+            self.replication_cost += (applied
+                                      * self.config.replication_unit_cost)
+            self.failover_log.append(
+                (now, "read-repair",
+                 f"{group.key}: {store.pool} repaired to {store.version} "
+                 f"({applied} record(s))")
+            )
+
+    # -- write forwarding ----------------------------------------------------------------
+
+    def invoke_write(self, key: str, value: bytes,
+                     writer: Union[int, str] = 0,
+                     at: Optional[float] = None,
+                     session: Optional[str] = None,
+                     via: Optional[str] = None) -> str:
+        """Route one write through its ingress replica.
+
+        ``via`` names the pool the write arrived at (defaults to the
+        configured ingress discipline).  A write arriving at the primary
+        queues directly, exactly like the pre-forwarding router; a write
+        arriving anywhere else is *forwarded*: the primary sees it one
+        forwarding hop later on the kernel clock.  Forwarding works
+        during a failover freeze too -- the forwarded write queues at the
+        frozen primary slot and flushes into the promoted epoch, so
+        clients never need to learn the new primary.
+        """
+        self.router.shard(key)  # also creates the group
+        group = self.groups[key]
+        if via is not None and via != group.primary_pool \
+                and group.follower(via) is None:
+            # A mistyped (or foreign-group) ingress would be silently
+            # "forwarded" with a fabricated distance -- plausible but
+            # wrong accounting.  Only actual members take writes in.
+            raise ValueError(
+                f"pool {via!r} holds no replica of key {key!r}; "
+                f"its members are {group.pools()}"
+            )
+        now = self._now()
+        dispatch_at = now if at is None else max(at, now)
+        ingress = via if via is not None else self._ingress_pool(group)
+        if ingress == group.primary_pool:
+            # Arrived at the primary: no hop to charge, no forward to
+            # count -- even mid-failover, where the queued write simply
+            # rides the frozen pending queue into the promoted epoch.
+            # Like every replica-routed path, a nominal time already in
+            # the past is clamped to the clock (a raw past timestamp
+            # would ratchet the whole shard batch forward).
+            return self.router._queue_write(
+                key, value, writer=writer,
+                at=None if at is None else dispatch_at, session=session)
+        handle = self.router._new_replica_handle(key)
+        self.router.stats.forwarded_writes += 1
+        # Validation above plus the ingress discipline guarantee a live
+        # follower store here (the primary case queued directly).
+        store = group.follower(ingress)
+        delay = self._scaled_latency(store.distance,
+                                     self.config.forward_latency)
+        self._forwarding.add(handle)
+        arrive_at = dispatch_at + delay
+        self.kernel.schedule_at(
+            max(arrive_at, now),
+            lambda: self._deliver_forwarded_write(group, handle, bytes(value),
+                                                  writer, arrive_at, session),
+        )
+        return handle
+
+    def _ingress_pool(self, group: ReplicaGroup) -> str:
+        """The pool a client's write arrives at under the configured
+        ingress discipline (the seeded-nearest live replica for
+        ``"nearest"``; dead primaries are never an ingress)."""
+        if self.config.write_ingress == "primary":
+            return group.primary_pool
+        nearest = None
+        if group.status == NORMAL and \
+                self.membership.pool_alive(group.primary_pool):
+            nearest = (group.primary_distance, 0, group.primary_pool)
+        for order, store in enumerate(group.live_followers(), start=1):
+            entry = (store.distance, order, store.pool)
+            if nearest is None or entry < nearest:
+                nearest = entry
+        return group.primary_pool if nearest is None else nearest[2]
+
+    def _deliver_forwarded_write(self, group: ReplicaGroup, handle: str,
+                                 value: bytes, writer: Union[int, str],
+                                 at: float, session: Optional[str]) -> None:
+        """The forwarded write reaches the primary slot: queue and flush.
+
+        While the group is frozen mid-failover the flush is a no-op and
+        the write rides the frozen pending queue into the promoted epoch.
+        """
+        self._forwarding.discard(handle)
+        self.router._queue_write(group.key, value, writer=writer, at=at,
+                                 session=session, handle=handle)
+        self.router.flush_key(group.key)
+
     # -- results / accounting ----------------------------------------------------------
 
     def result(self, handle: str) -> Optional[OperationResult]:
         return self._results.get(handle)
 
     def operation_cost(self, handle: str) -> float:
-        """Cost of one served follower read (0 while pending/deferred)."""
+        """Cost of one served replica read (0 while pending/deferred):
+        one store-read cost per merged quorum leg, or a single store-read
+        cost for a follower serve."""
+        if handle in self._handle_costs:
+            return self._handle_costs[handle]
         if handle in self._results:
             return self.config.follower_read_cost
         return 0.0
 
     def incomplete_reads(self) -> int:
-        """Follower reads in flight plus reads deferred behind a failover."""
+        """Replica reads in flight (follower serves and quorum fan-outs)
+        plus reads deferred behind a failover."""
         return len(self._pending)
+
+    def in_flight_forwards(self) -> int:
+        """Forwarded writes still travelling follower -> primary."""
+        return len(self._forwarding)
 
     @property
     def total_cost(self) -> float:
@@ -753,8 +1250,29 @@ class ReplicaCoordinator:
 
     # -- membership reactions: failover and follower loss -----------------------------------
 
+    @staticmethod
+    def _check_pool_name(pool: str) -> None:
+        """Reject the one pool name that would alias quorum client ids.
+
+        Follower-served operations are stamped ``replica:<pool>/...`` and
+        quorum merges ``replica:quorum/...``; a pool named ``quorum`` --
+        or anything under a ``quorum/`` prefix, since the marker match is
+        prefix-based -- would make the two classes indistinguishable to
+        the auditing and injection helpers (the same discipline as the
+        router's reserved ``@e<n>`` key suffix).
+        """
+        if pool == "quorum" or pool.startswith("quorum/"):
+            raise ValueError(
+                f"pool name {pool!r} is reserved by the replica layer "
+                "(quorum-merged reads are stamped 'replica:quorum/...'); "
+                "rename the pool"
+            )
+
     def _on_membership_event(self, event: MembershipEvent) -> None:
         pool = event.node.pool
+        if event.kind == JOIN:
+            self._check_pool_name(pool)
+            return
         if event.kind == RECOVER:
             if pool in self._dead_pools:
                 self._dead_pools.discard(pool)
@@ -776,6 +1294,7 @@ class ReplicaCoordinator:
             # only the first event does any work.
             return
         self._dead_pools.add(pool)
+        self._pool_crashes[pool] = self._pool_crashes.get(pool, 0) + 1
         for key in sorted(self.groups):
             group = self.groups[key]
             if group.status == NORMAL and group.primary_pool == pool:
@@ -820,7 +1339,7 @@ class ReplicaCoordinator:
         # catch-up duration is a detection-time estimate) but applied only
         # when the successor is seated, so degraded reads during the
         # window still observe the successor's genuinely stale state.
-        missing = len([record for record in group.log
+        missing = len([record for record in group.log[successor.log_position:]
                        if record.seq not in successor.applied])
         done_at = now + self.config.catch_up_per_record * missing
         self.kernel.schedule_at(
@@ -845,10 +1364,11 @@ class ReplicaCoordinator:
         # If a successor dies mid-window the next candidate catches up and
         # is charged afresh -- both copies consumed real bandwidth.
         caught_up = 0
-        for record in group.log:
+        for record in group.log[successor.log_position:]:
             if successor.apply(record):
                 caught_up += 1
                 self.replication_cost += self.config.replication_unit_cost
+        successor.log_position = len(group.log)
         self.stats.catch_up_records += caught_up
         old_pool = group.primary_pool
         successor.retired = True
@@ -938,6 +1458,7 @@ class ReplicaCoordinator:
         # logged so far (the seed *is* their net effect), so the whole log
         # counts as applied and only future commits replicate to the store.
         store.applied.update(record.seq for record in group.log)
+        store.log_position = len(group.log)
         group.followers.append(store)
         self.replication_cost += self.config.replication_unit_cost
         self.stats.followers_provisioned += 1
@@ -1006,6 +1527,7 @@ __all__ = [
     "LeastLoadedPolicy",
     "NearestPolicy",
     "PrimaryOnlyPolicy",
+    "QuorumReadPolicy",
     "ReadRoutingPolicy",
     "ReplicaCoordinator",
     "ReplicaGroup",

@@ -131,8 +131,24 @@ class RouterStats:
     follower_reads: int = 0
     #: Follower choices overridden to the primary by the session guard.
     session_fallbacks: int = 0
+    #: Policy choices naming a pool without a live store (a just-retired
+    #: follower); rerouted to the primary like a session fallback, but
+    #: counted apart so stale-policy behaviour is visible.
+    retired_fallbacks: int = 0
     #: Primary-bound reads queued behind an in-progress failover.
     failover_deferrals: int = 0
+    #: Reads resolved by quorum fan-out (the ``quorum`` routing policy);
+    #: each counts once however many legs it queried.
+    quorum_reads: int = 0
+    #: Histogram of merged responses per quorum read (legs whose store
+    #: died mid-flight never answer, so depth < read_quorum marks a
+    #: degraded merge).
+    quorum_depths: Dict[int, int] = field(default_factory=dict)
+    #: Lagging stores caught up by quorum-merge read repair.
+    read_repairs: int = 0
+    #: Writes that arrived at a non-primary pool and were forwarded to
+    #: the primary (one forwarding hop on the kernel clock).
+    forwarded_writes: int = 0
     #: Reads for which the routing policy expressed a concrete choice.
     policy_choices: int = 0
     #: ... of which the chosen replica actually served the read.
@@ -149,7 +165,7 @@ class RouterStats:
     @property
     def routed_reads(self) -> int:
         """Reads that went through the replica-group read router."""
-        return self.primary_reads + self.follower_reads
+        return self.primary_reads + self.follower_reads + self.quorum_reads
 
     @property
     def follower_read_fraction(self) -> float:
@@ -414,15 +430,48 @@ class ObjectRouter:
 
     def invoke_write(self, key: str, value: bytes, writer: Union[int, str] = 0,
                      at: Optional[float] = None,
-                     session: Optional[str] = None) -> str:
+                     session: Optional[str] = None,
+                     via: Optional[str] = None) -> str:
         """Queue a write on ``key``'s shard; returns an operation handle.
 
         ``session`` names the logical client session the operation belongs
         to; it is preserved end to end into the merged history's
         ``Operation.session`` field for cross-shard session auditing.
+
+        With replica groups, ``via`` names the pool the write arrived at;
+        a write arriving at a follower pool (explicitly, or because the
+        configured ``write_ingress`` discipline routes it there) is
+        forwarded to the primary with the forwarding hop charged on the
+        kernel clock (see :mod:`repro.cluster.replicas`).
+        """
+        if via is not None and self.replicas is None:
+            raise ValueError(
+                "write ingress routing (via=...) needs replica groups; "
+                "configure ReplicationConfig(r>1)"
+            )
+        if self.replicas is not None and (
+                via is not None
+                or self.replicas.config.write_ingress != "primary"):
+            return self.replicas.invoke_write(key, value, writer=writer,
+                                              at=at, session=session, via=via)
+        return self._queue_write(key, value, writer=writer, at=at,
+                                 session=session)
+
+    def _queue_write(self, key: str, value: bytes,
+                     writer: Union[int, str] = 0,
+                     at: Optional[float] = None,
+                     session: Optional[str] = None,
+                     handle: Optional[str] = None) -> str:
+        """Queue a write on the primary shard.
+
+        ``handle`` re-points an existing replica-routed handle at the
+        primary epoch (used when a forwarded write reaches the primary).
         """
         shard = self.shard(key)
-        handle = self._new_handle(key, shard.epoch)
+        if handle is None:
+            handle = self._new_handle(key, shard.epoch)
+        else:
+            self._handles[handle][1] = shard.epoch
         shard.pending.append(_PendingOp(handle=handle, kind=WRITE, client=writer,
                                         at=at, value=bytes(value),
                                         session=session))
@@ -761,9 +810,11 @@ class ObjectRouter:
 
     def incomplete_operations(self) -> int:
         """Number of invoked-but-unfinished operations across the cluster
-        (in-flight and failover-deferred replica reads included)."""
+        (in-flight and failover-deferred replica reads, and writes still
+        travelling a forwarding hop, included)."""
         replica_pending = (0 if self.replicas is None
-                           else self.replicas.incomplete_reads())
+                           else self.replicas.incomplete_reads()
+                           + self.replicas.in_flight_forwards())
         return replica_pending + sum(
             1 for history in self._all_histories()
             for op in history if not op.is_complete

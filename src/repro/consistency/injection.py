@@ -197,6 +197,11 @@ def inject_all(history: History) -> Dict[str, Injection]:
 REPLICA_CLIENT_PREFIX = "replica:"
 
 
+#: Client-id marker of quorum-merged reads (a narrower class than the
+#: general replica prefix: the coordinator stamps them ``replica:quorum/``).
+QUORUM_CLIENT_MARKER = REPLICA_CLIENT_PREFIX + "quorum/"
+
+
 def is_follower_read(op: Operation) -> bool:
     """True for reads served by a replica follower store.
 
@@ -206,6 +211,52 @@ def is_follower_read(op: Operation) -> bool:
     the replicated read path auditable as such.
     """
     return op.kind == READ and op.client_id.startswith(REPLICA_CLIENT_PREFIX)
+
+
+def is_quorum_read(op: Operation) -> bool:
+    """True for reads resolved by the replica layer's quorum merge."""
+    return op.kind == READ and op.client_id.startswith(QUORUM_CLIENT_MARKER)
+
+
+def _inject_stale_replica_read(history: History, eligible, what: str,
+                               description: str) -> Injection:
+    """Shared search: demote a replica-served read below its session floor.
+
+    Finds the first (deterministic order) read matching ``eligible`` that
+    has a preceding same-session operation and an older same-key donor
+    version, and rewrites it to observe the donor -- the history a buggy
+    replica read path would have recorded.
+    """
+    groups, _, _ = session_groups(history)
+    for (session, key), ops in sorted(groups.items()):
+        for later in ops:
+            if not eligible(later):
+                continue
+            predecessors = [earlier for earlier in ops
+                            if earlier.precedes(later)]
+            if not predecessors:
+                continue
+            strongest = max(predecessors,
+                            key=lambda op: (operation_version(op), op.op_id))
+            donor = _version_below(history, key, operation_version(strongest))
+            if donor is None:
+                continue
+            guarantee = (READ_YOUR_WRITES if strongest.kind == WRITE
+                         else MONOTONIC_READS)
+            return Injection(
+                guarantee=guarantee,
+                description=(f"{description} {later.op_id} to the stale "
+                             f"version of {donor.op_id} (session had "
+                             f"already observed {strongest.op_id})"),
+                history=_rebuild(history, _retag(later, donor)),
+                mutated=(later.op_id,),
+                session=session, key=key,
+            )
+    raise InjectionError(
+        f"no eligible {what} site: the history needs a matching replica-"
+        "served read preceded by a session operation with an older same-key "
+        "donor version (run a replicated workload with such reads first)"
+    )
 
 
 def inject_stale_follower_read(history: History) -> Injection:
@@ -223,44 +274,40 @@ def inject_stale_follower_read(history: History) -> Injection:
     follower read with a preceding session operation and an older donor
     version -- i.e. when replication was off or followers never served.
     """
-    groups, _, _ = session_groups(history)
-    for (session, key), ops in sorted(groups.items()):
-        for later in ops:
-            if not is_follower_read(later):
-                continue
-            predecessors = [earlier for earlier in ops
-                            if earlier.precedes(later)]
-            if not predecessors:
-                continue
-            strongest = max(predecessors,
-                            key=lambda op: (operation_version(op), op.op_id))
-            donor = _version_below(history, key, operation_version(strongest))
-            if donor is None:
-                continue
-            guarantee = (READ_YOUR_WRITES if strongest.kind == WRITE
-                         else MONOTONIC_READS)
-            return Injection(
-                guarantee=guarantee,
-                description=(f"demoted follower read {later.op_id} to the "
-                             f"stale version of {donor.op_id} (session had "
-                             f"already observed {strongest.op_id})"),
-                history=_rebuild(history, _retag(later, donor)),
-                mutated=(later.op_id,),
-                session=session, key=key,
-            )
-    raise InjectionError(
-        "no eligible stale-follower site: the history needs a follower-served "
-        "read preceded by a session operation with an older same-key donor "
-        "version (run a replicated workload with follower reads first)"
+    return _inject_stale_replica_read(
+        history, is_follower_read, "stale-follower",
+        "demoted follower read",
+    )
+
+
+def inject_quorum_version_drop(history: History) -> Injection:
+    """Drop the max-version response from a quorum merge.
+
+    The quorum read path's characteristic failure mode: the merge loses
+    (or never receives) the member holding the maximum version and a
+    stale member's answer wins instead.  The mutation rewrites one
+    quorum-merged read to observe an older same-key version -- exactly
+    the history a merge that dropped its freshest response would have
+    recorded -- and the session auditor must report the resulting
+    read-your-writes or monotonic-reads violation.  Raises
+    :class:`InjectionError` when the history has no quorum read with a
+    preceding session operation and an older donor version.
+    """
+    return _inject_stale_replica_read(
+        history, is_quorum_read, "quorum-drop",
+        "dropped the max-version response: demoted quorum read",
     )
 
 
 __all__ = [
     "Injection",
     "InjectionError",
+    "QUORUM_CLIENT_MARKER",
     "REPLICA_CLIENT_PREFIX",
     "inject_all",
+    "inject_quorum_version_drop",
     "inject_session_violation",
     "inject_stale_follower_read",
     "is_follower_read",
+    "is_quorum_read",
 ]

@@ -33,7 +33,9 @@ from repro.sim.scenario import (
     correlated_pool_failure,
     degraded_reads_during_catch_up,
     flash_crowd,
+    forwarded_writes_during_failover,
     migration_under_load,
+    quorum_reads_under_lag,
     repair_under_load,
     replica_failover_under_load,
 )
@@ -54,4 +56,6 @@ __all__ = [
     "flash_crowd",
     "replica_failover_under_load",
     "degraded_reads_during_catch_up",
+    "quorum_reads_under_lag",
+    "forwarded_writes_during_failover",
 ]

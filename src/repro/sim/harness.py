@@ -153,9 +153,10 @@ class ClusterSimulation:
 
     def invoke_write(self, key: str, value: bytes, writer=0,
                      at: Optional[float] = None,
-                     session: Optional[str] = None) -> str:
+                     session: Optional[str] = None,
+                     via: Optional[str] = None) -> str:
         return self.cluster.invoke_write(key, value, writer=writer, at=at,
-                                         session=session)
+                                         session=session, via=via)
 
     def invoke_read(self, key: str, reader=0,
                     at: Optional[float] = None,
@@ -220,8 +221,9 @@ class ClusterSimulation:
         Categories: ``invoke`` / ``respond`` (foreground operations, with
         the shard key in the detail), ``repair-start`` / ``repair-done``,
         ``migrate``, the replica-layer events (``primary-down`` /
-        ``promote`` / ``follower-lost`` / ``follower-provisioned``) and
-        the scenario action kinds.  Sorted by time; this is
+        ``promote`` / ``follower-lost`` / ``follower-provisioned`` /
+        ``read-repair``) and the scenario action kinds.  Sorted by time;
+        this is
         the artefact proving repairs and migrations interleave with
         foreground operations across shards on one clock.
         """
@@ -245,7 +247,8 @@ class ClusterSimulation:
         for time, key, source, target in self.cluster.router.migration_log:
             entries.append((time, "migrate", f"{key}: {source} -> {target}"))
         if self.cluster.replicas is not None:
-            # primary-down / promote / follower-lost / follower-provisioned.
+            # primary-down / promote / follower-lost / follower-provisioned
+            # / read-repair.
             entries.extend(self.cluster.replicas.failover_log)
         for time, kind, detail in self.engine.log:
             entries.append((time, kind, detail))

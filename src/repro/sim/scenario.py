@@ -8,8 +8,8 @@ workload phase -- each pinned to a global virtual time.  The
 load changes land *between* foreground protocol events exactly where the
 timeline puts them, instead of between whole run-to-idle passes.
 
-Six scenarios ship with the engine, covering the cross-shard phenomena the
-legacy per-shard loop could never exhibit:
+Eight scenarios ship with the engine, covering the cross-shard phenomena
+the legacy per-shard loop could never exhibit:
 
 * :func:`repair_under_load` -- a back-end node dies mid-workload and the
   rate-limited background repairs compete with foreground Zipf traffic;
@@ -22,7 +22,13 @@ legacy per-shard loop could never exhibit:
 * :func:`replica_failover_under_load` -- a whole pool dies mid-workload
   and its replica groups promote followers (needs ``r >= 2``);
 * :func:`degraded_reads_during_catch_up` -- a read burst lands inside the
-  failover window and is served degraded by follower stores.
+  failover window and is served degraded by follower stores;
+* :func:`quorum_reads_under_lag` -- a read burst under heavy replication
+  lag and a saturating network, resolved by quorum merges that observe
+  (and read-repair) stale stores (needs the ``quorum`` read policy);
+* :func:`forwarded_writes_during_failover` -- writes keep arriving at
+  follower pools through a pool kill and are forwarded to the (frozen,
+  then promoted) primary (needs ``write_ingress="nearest"``).
 """
 
 from __future__ import annotations
@@ -370,6 +376,99 @@ def degraded_reads_during_catch_up(keys, victim_pool: str, *, seed: int = 0,
     )
 
 
+def quorum_reads_under_lag(keys, *, seed: int = 0, operations: int = 140,
+                           burst_operations: int = 140,
+                           write_fraction: float = 0.5,
+                           duration: float = 800.0,
+                           burst_at: float = 350.0,
+                           latency_scale: float = 1.4,
+                           client_spacing: float = 60.0) -> Scenario:
+    """A read burst lands while followers lag far behind the primaries.
+
+    Phase one is a write-heavy build-up, so by ``burst_at`` every group
+    has a replication log its followers have not caught up on (run with a
+    ``replication_lag`` comparable to the scenario duration).  The
+    network then saturates and a read-heavy burst arrives: under the
+    ``quorum`` read policy each read queries ``read_quorum`` stores and
+    merges -- follower-only quorum windows observe genuinely stale
+    stores, which is exactly where **read repair** (or, with
+    ``read_repair=False``, a session-guard fallback to the primary) has
+    to step in.  Compare ``RouterStats.read_repairs`` and
+    ``session_fallbacks`` across the two settings to see repair working.
+
+    Like the flash-crowd scenario, the burst is a *second* client
+    population (per-shard client index 1) with its own ``burst-*``
+    sessions -- run on a simulation with ``writers_per_shard`` and
+    ``readers_per_shard`` of at least 2.  The burst keeps a small write
+    fraction so its sessions carry read-your-writes floors of their own.
+    """
+    generator = WorkloadGenerator(seed=derive_seed(seed, "quorum-under-lag"),
+                                  client_spacing=client_spacing)
+    build = generator.zipf_keyed(keys, operations, write_fraction, burst_at,
+                                 s=1.1)
+    burst_generator = WorkloadGenerator(
+        seed=derive_seed(seed, "quorum-under-lag", "burst"),
+        client_spacing=client_spacing * latency_scale,
+    )
+    burst_raw = burst_generator.zipf_keyed(keys, burst_operations, 0.2,
+                                           duration - burst_at, s=1.2)
+    burst = Workload(description=burst_raw.description + " (burst clients)")
+    for operation in burst_raw.operations:
+        burst.add(dc_replace(operation, client_index=operation.client_index + 1,
+                             session=f"burst-{operation.client_index + 1}"))
+    return Scenario(
+        name="quorum-reads-under-lag",
+        description=(f"write-heavy build-up; at t={burst_at:g} the network "
+                     f"degrades {latency_scale:g}x and a read burst is "
+                     f"resolved by quorum merges over lagging stores"),
+        actions=[
+            ScenarioAction(at=0.0, kind=WORKLOAD_PHASE, workload=build,
+                           label="write-heavy build-up"),
+            ScenarioAction(at=burst_at, kind=LATENCY_SHIFT,
+                           scale=latency_scale, label="network saturates"),
+            ScenarioAction(at=burst_at, kind=WORKLOAD_PHASE, workload=burst,
+                           label="read burst over lagging stores"),
+        ],
+    )
+
+
+def forwarded_writes_during_failover(keys, victim_pool: str, *,
+                                     seed: int = 0, operations: int = 180,
+                                     write_fraction: float = 0.5,
+                                     duration: float = 800.0,
+                                     kill_at: float = 300.0,
+                                     client_spacing: float = 60.0) -> Scenario:
+    """Writes keep arriving at follower pools through a pool kill.
+
+    Run on an ``r >= 2`` simulation with ``write_ingress="nearest"``:
+    every write arrives at the client's nearest replica pool and is
+    forwarded to the primary when that pool is a follower.  When the
+    victim pool dies mid-workload its groups freeze and promote -- and
+    the writes that keep arriving *during the freeze* are forwarded into
+    the frozen primary slot, ride the pending queue into the promoted
+    epoch and complete there, so no client ever needs to learn who the
+    new primary is.  ``RouterStats.forwarded_writes`` counts the hops;
+    the run must audit clean because forwarding preserves per-session
+    write order (one operation in flight per client).
+    """
+    generator = WorkloadGenerator(seed=derive_seed(seed, "forwarded-writes"),
+                                  client_spacing=client_spacing)
+    load = generator.zipf_keyed(keys, operations, write_fraction, duration,
+                                s=1.1)
+    return Scenario(
+        name="forwarded-writes-during-failover",
+        description=(f"nearest-ingress writes forwarded to primaries; pool "
+                     f"{victim_pool!r} dies at t={kill_at:g} and forwarded "
+                     f"writes ride the freeze into the promoted epochs"),
+        actions=[
+            ScenarioAction(at=0.0, kind=WORKLOAD_PHASE, workload=load,
+                           label="nearest-ingress zipf load"),
+            ScenarioAction(at=kill_at, kind=KILL_POOL, target=victim_pool,
+                           label=f"kill {victim_pool}"),
+        ],
+    )
+
+
 __all__ = [
     "FAIL_NODE", "RECOVER_NODE", "JOIN_POOL", "LEAVE_POOL", "KILL_POOL",
     "LATENCY_SHIFT", "WORKLOAD_PHASE",
@@ -377,4 +476,5 @@ __all__ = [
     "repair_under_load", "migration_under_load",
     "correlated_pool_failure", "flash_crowd",
     "replica_failover_under_load", "degraded_reads_during_catch_up",
+    "quorum_reads_under_lag", "forwarded_writes_during_failover",
 ]

@@ -62,14 +62,25 @@ class ReadDistribution:
     offload the primaries and the routing policy's choices are honored.
     """
 
-    #: Reads routed per pool (primary and follower routes combined; a read
-    #: stranded by a crash mid-flight stays counted against its replica).
+    #: Reads routed per pool (primary, follower and quorum-leg routes
+    #: combined; a read stranded by a crash mid-flight stays counted
+    #: against its replica).
     counts: Dict[str, int] = field(default_factory=dict)
     primary_reads: int = 0
     follower_reads: int = 0
     session_fallbacks: int = 0
+    retired_fallbacks: int = 0
     failover_deferrals: int = 0
     policy_hit_rate: float = 0.0
+    #: Reads resolved by quorum fan-out (each counted once, not per leg).
+    quorum_reads: int = 0
+    #: Histogram of merged responses per quorum read (depth below the
+    #: configured quorum marks members lost mid-flight).
+    quorum_depths: Dict[int, int] = field(default_factory=dict)
+    #: Lagging stores caught up by quorum-merge read repair.
+    read_repairs: int = 0
+    #: Writes forwarded follower -> primary.
+    forwarded_writes: int = 0
 
     @classmethod
     def from_router_stats(cls, stats) -> "ReadDistribution":
@@ -78,19 +89,50 @@ class ReadDistribution:
             primary_reads=stats.primary_reads,
             follower_reads=stats.follower_reads,
             session_fallbacks=stats.session_fallbacks,
+            retired_fallbacks=getattr(stats, "retired_fallbacks", 0),
             failover_deferrals=stats.failover_deferrals,
             policy_hit_rate=stats.policy_hit_rate,
+            quorum_reads=getattr(stats, "quorum_reads", 0),
+            quorum_depths=dict(getattr(stats, "quorum_depths", {})),
+            read_repairs=getattr(stats, "read_repairs", 0),
+            forwarded_writes=getattr(stats, "forwarded_writes", 0),
         )
 
     @property
     def total(self) -> int:
         """Reads routed (failover-deferred, not-yet-routed reads excluded)."""
-        return self.primary_reads + self.follower_reads
+        return self.primary_reads + self.follower_reads + self.quorum_reads
 
     @property
     def follower_fraction(self) -> float:
         """Share of routed reads handled by follower stores."""
         return self.follower_reads / self.total if self.total else 0.0
+
+    @property
+    def mean_quorum_depth(self) -> float:
+        """Mean merged responses per quorum read (0.0 without quorums)."""
+        merged = sum(depth * count
+                     for depth, count in self.quorum_depths.items())
+        counted = sum(self.quorum_depths.values())
+        return merged / counted if counted else 0.0
+
+    @property
+    def session_fallback_rate(self) -> float:
+        """Session-guard fallbacks per routed read.
+
+        Fallbacks count per rejected follower *choice*: under the quorum
+        policy each logical read falls back at most once, but a
+        single-store policy read can reject several lagging followers in
+        turn, so the rate can exceed 1.0 there.
+        """
+        return self.session_fallbacks / self.total if self.total else 0.0
+
+    @property
+    def read_repair_rate(self) -> float:
+        """Stores repaired per quorum read (staleness-repaired rate)."""
+        if not self.quorum_reads:
+            return 0.0
+        return self.read_repairs / self.quorum_reads
 
     @property
     def mean(self) -> float:
@@ -114,13 +156,21 @@ class ReadDistribution:
         return math.sqrt(variance) / self.mean
 
     def describe(self) -> str:
+        quorum = ""
+        if self.quorum_reads:
+            quorum = (f", quorum_reads={self.quorum_reads}, "
+                      f"mean_depth={self.mean_quorum_depth:.2f}, "
+                      f"repairs={self.read_repairs}")
+        forwarded = (f", forwarded_writes={self.forwarded_writes}"
+                     if self.forwarded_writes else "")
         return (
             f"ReadDistribution(total={self.total}, "
             f"follower_fraction={self.follower_fraction:.2f}, "
             f"cv={self.coefficient_of_variation:.2f}, "
             f"hit_rate={self.policy_hit_rate:.2f}, "
             f"fallbacks={self.session_fallbacks}, "
-            f"deferrals={self.failover_deferrals})"
+            f"deferrals={self.failover_deferrals}"
+            f"{quorum}{forwarded})"
         )
 
 

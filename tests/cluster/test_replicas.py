@@ -10,9 +10,14 @@ from repro.cluster.replicas import (
     FAILING_OVER,
     NORMAL,
     UNSERVICEABLE,
+    QuorumReadPolicy,
+    ReadRoutingPolicy,
+    ReplicaView,
     ReplicationConfig,
+    RoundRobinPolicy,
     make_read_policy,
 )
+from repro.consistency.history import READ
 from repro.consistency.sessions import check_sessions
 from repro.core.config import LDSConfig
 from repro.core.tags import INITIAL_TAG
@@ -196,9 +201,12 @@ class TestSessionGuard:
         while cluster.router.result(write) is None:
             kernel.step()
         # Round-robin would now send reads to follower 1 and 2 -- but the
-        # session already wrote v1, which no follower has applied.  The
-        # reads start strictly after the write's response so the session
-        # order is unambiguous.
+        # session already wrote v1, which no follower has applied: each
+        # rejected follower passes the turn to the next candidate, so the
+        # second read rejects both lagging followers before landing on
+        # the primary and the third rejects one.  The reads start
+        # strictly after the write's response so the session order is
+        # unambiguous.
         # Spaced out: the fallbacks all land on the same physical reader.
         handles = [cluster.router.invoke_read("obj-0", session="s",
                                               at=kernel.now + 1.0 + 60.0 * i)
@@ -208,7 +216,7 @@ class TestSessionGuard:
         for handle in handles:
             assert cluster.router.result(handle).tag == written.tag
         stats = cluster.router_stats
-        assert stats.session_fallbacks == 2
+        assert stats.session_fallbacks == 3  # one per rejected choice
         assert stats.follower_reads == 0
         assert stats.policy_hit_rate < 1.0
         report = check_sessions(cluster.history(global_clock=True))
@@ -656,3 +664,561 @@ class TestReplicaAwareRebalance:
                 assert store.pool != "pool-0"
                 assert store.version[0] == group.epoch
         assert cluster.check_atomicity() is None
+
+
+class TestQuorumReads:
+    def test_quorum_merge_returns_the_max_version(self, config):
+        cluster, _ = build_cluster(config, policy="quorum",
+                                   replication_lag=500.0, read_quorum=2)
+        cluster.write("obj-0", b"v1")
+        result = cluster.write("obj-0", b"v2")
+        # The first quorum window is [primary, follower-1]: no follower has
+        # applied anything, so the primary's committed log head must win.
+        read = cluster.read("obj-0")
+        assert read.value == b"v2"
+        assert read.tag == result.tag
+        stats = cluster.router_stats
+        assert stats.quorum_reads == 1
+        assert stats.quorum_depths == {2: 1}
+
+    def test_read_repair_catches_observed_stores_up_immediately(self, config):
+        cluster, kernel = build_cluster(config, policy="quorum",
+                                        replication_lag=900.0, read_quorum=2)
+        cluster.write("obj-0", b"v1")
+        group = cluster.replicas.groups["obj-0"]
+        before = cluster.replicas.replication_cost
+        cluster.read("obj-0")
+        # The merge saw a stale follower and repaired it from the log now,
+        # ~900 time units before the lag fan-out would have.
+        assert kernel.now < 900.0
+        repaired = [s for s in group.live_followers()
+                    if s.version == group.latest_version]
+        assert len(repaired) == 1
+        assert repaired[0].value == b"v1"
+        stats = cluster.router_stats
+        assert stats.read_repairs == 1
+        assert cluster.replicas.stats.read_repair_records == 1
+        assert cluster.replicas.replication_cost == before + 1.0
+
+    def test_unobserved_followers_are_not_repaired(self, config):
+        # Only quorum members are caught up; anti-entropy between
+        # followers that never met in a quorum is explicitly out of scope.
+        cluster, _ = build_cluster(config, policy="quorum",
+                                   replication_lag=900.0, read_quorum=2)
+        cluster.write("obj-0", b"v1")
+        cluster.read("obj-0")
+        group = cluster.replicas.groups["obj-0"]
+        stale = [s for s in group.live_followers()
+                 if s.version == (0, INITIAL_TAG)]
+        assert len(stale) == 1
+
+    def test_disabling_read_repair_leaves_catch_up_to_the_lag(self, config):
+        cluster, kernel = build_cluster(config, policy="quorum",
+                                        replication_lag=900.0, read_quorum=2,
+                                        read_repair=False)
+        cluster.write("obj-0", b"v1")
+        cluster.read("obj-0")
+        group = cluster.replicas.groups["obj-0"]
+        assert kernel.now < 900.0
+        assert all(s.version == (0, INITIAL_TAG)
+                   for s in group.live_followers())
+        assert cluster.router_stats.read_repairs == 0
+        cluster.run_until_idle()  # the lag fan-out eventually applies
+        assert all(s.value == b"v1" for s in group.live_followers())
+
+    def test_follower_only_window_falls_back_on_the_session_floor(self, config):
+        cluster, kernel = build_cluster(config, policy="quorum",
+                                        replication_lag=900.0, read_quorum=2,
+                                        read_repair=False)
+        write = cluster.router.invoke_write("obj-0", b"v1", session="s")
+        cluster.router.flush()
+        while cluster.router.result(write) is None:
+            kernel.step()
+        written = cluster.router.result(write)
+        # Windows rotate [P,F1], [F1,F2], [F2,P]: the second sessioned read
+        # merges a follower-only quorum below the session's floor and must
+        # fall back to a protocol read at the primary.
+        handles = [cluster.router.invoke_read("obj-0", session="s",
+                                              at=kernel.now + 1.0 + 60.0 * i)
+                   for i in range(2)]
+        cluster.run_until_idle()
+        for handle in handles:
+            assert cluster.router.result(handle).tag == written.tag
+        stats = cluster.router_stats
+        assert stats.session_fallbacks == 1
+        assert cluster.router.incomplete_operations() == 0
+        assert check_sessions(cluster.history(global_clock=True)).ok
+
+    def test_guardless_stale_quorum_is_caught_by_the_auditor(self, config):
+        cluster, kernel = build_cluster(config, policy="quorum",
+                                        replication_lag=900.0, read_quorum=1,
+                                        read_repair=False,
+                                        session_guard=False)
+        write = cluster.router.invoke_write("obj-0", b"v1", session="s")
+        cluster.router.flush()
+        while cluster.router.result(write) is None:
+            kernel.step()
+        handles = [cluster.router.invoke_read("obj-0", session="s",
+                                              at=kernel.now + 1.0 + 60.0 * i)
+                   for i in range(2)]
+        cluster.run_until_idle()
+        del handles
+        report = check_sessions(cluster.history(global_clock=True))
+        assert not report.ok
+        assert any(v.guarantee in ("read-your-writes", "monotonic-reads")
+                   for v in report.violations)
+        assert cluster.check_atomicity() is None
+
+    def test_quorum_degrades_when_a_member_dies_mid_flight(self, config):
+        cluster, kernel = build_cluster(config, policy="quorum",
+                                        read_quorum=2,
+                                        follower_read_latency=50.0)
+        cluster.write("obj-0", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["obj-0"]
+        handle = cluster.router.invoke_read("obj-0")
+        # The window was [primary, follower-1]; kill the follower's pool
+        # while its leg is still in flight.
+        victim = group.live_followers()[0].pool
+        cluster.fail_pool(victim, time=kernel.now)
+        cluster.run_until_idle()
+        result = cluster.router.result(handle)
+        assert result is not None, "the quorum read must degrade, not hang"
+        assert result.value == b"v1"
+        assert cluster.router_stats.quorum_depths.get(1) == 1
+        assert cluster.replicas.incomplete_reads() == 0
+
+    def test_quorum_with_every_member_dead_strands_truthfully(self, config):
+        cluster, kernel = build_cluster(config, r=2, pools=2, policy="quorum",
+                                        read_quorum=2,
+                                        follower_read_latency=50.0,
+                                        failover_detection_delay=5.0)
+        cluster.write("obj-0", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["obj-0"]
+        handle = cluster.router.invoke_read("obj-0")
+        follower_pool = group.live_followers()[0].pool
+        cluster.fail_pool(follower_pool, time=kernel.now)
+        cluster.fail_pool(group.primary_pool, time=kernel.now)
+        cluster.run_until_idle()  # must terminate: the merge resolves empty
+        assert group.status == UNSERVICEABLE
+        assert cluster.router.result(handle) is None
+        assert cluster.replicas.incomplete_reads() == 1
+        stranded = [op for op in cluster.history()
+                    if op.client_id.startswith("replica:quorum")
+                    and not op.is_complete]
+        assert len(stranded) == 1
+
+    def test_read_quorum_requires_the_quorum_policy(self, config):
+        with pytest.raises(ValueError, match="read_quorum"):
+            build_cluster(config, policy="round-robin", read_quorum=2)
+
+    def test_read_quorum_must_stay_within_r(self):
+        with pytest.raises(ValueError, match="read_quorum"):
+            ReplicationConfig(r=3, read_quorum=4)
+        with pytest.raises(ValueError, match="read_quorum"):
+            ReplicationConfig(r=3, read_quorum=0)
+
+    def test_read_quorum_defaults_to_a_majority(self, config):
+        cluster, _ = build_cluster(config, r=3, policy="quorum")
+        assert cluster.replicas.read_quorum == 2
+
+
+class TestWriteForwarding:
+    def test_via_follower_forwards_to_the_primary(self, config):
+        cluster, kernel = build_cluster(config, policy="primary",
+                                        forward_latency=5.0)
+        cluster.write("obj-0", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["obj-0"]
+        follower_pool = group.live_followers()[0].pool
+        started = kernel.now
+        handle = cluster.router.invoke_write("obj-0", b"v2",
+                                             via=follower_pool)
+        assert cluster.router.incomplete_operations() >= 1  # hop in flight
+        cluster.run_until_idle()
+        result = cluster.router.result(handle)
+        assert result.value == b"v2"
+        # The forwarding hop is charged on the kernel clock before the
+        # primary even sees the write.
+        assert result.invoked_at >= started + 5.0 * 0.5  # distance >= 0.5
+        assert cluster.router_stats.forwarded_writes == 1
+        assert cluster.read("obj-0").value == b"v2"
+
+    def test_via_primary_queues_directly(self, config):
+        cluster, _ = build_cluster(config, policy="primary")
+        cluster.write("obj-0", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["obj-0"]
+        handle = cluster.router.invoke_write("obj-0", b"v2",
+                                             via=group.primary_pool)
+        cluster.run_until_idle()
+        assert cluster.router.result(handle).value == b"v2"
+        assert cluster.router_stats.forwarded_writes == 0
+
+    def test_nearest_ingress_forwards_follower_arrivals(self, config):
+        cluster, _ = build_cluster(config, policy="primary",
+                                   write_ingress="nearest")
+        # Across enough keys, some nearest replica is a follower.
+        for i in range(8):
+            cluster.write(f"obj-{i}", b"x")
+        cluster.run_until_idle()
+        stats = cluster.router_stats
+        assert stats.forwarded_writes > 0
+        for i in range(8):
+            assert cluster.read(f"obj-{i}").value == b"x"
+        assert cluster.check_atomicity() is None
+
+    def test_forwarded_write_rides_the_freeze_into_the_new_epoch(self, config):
+        cluster, kernel = build_cluster(config, policy="primary",
+                                        failover_detection_delay=20.0,
+                                        forward_latency=2.0)
+        cluster.write("k", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["k"]
+        follower_pool = group.live_followers()[0].pool
+        cluster.fail_pool(group.primary_pool, time=kernel.now)
+        assert group.status == FAILING_OVER
+        handle = cluster.router.invoke_write("k", b"v2", via=follower_pool,
+                                             session="w")
+        cluster.run_until_idle()
+        assert group.status == NORMAL
+        assert group.epoch == 1
+        result = cluster.router.result(handle)
+        assert result is not None and result.value == b"v2"
+        assert cluster.router_stats.forwarded_writes == 1
+        assert cluster.read("k").value == b"v2"
+        assert cluster.check_atomicity() is None
+        assert check_sessions(cluster.history(global_clock=True)).ok
+
+
+class _StickyPolicy(ReadRoutingPolicy):
+    """Always returns its first follower choice -- even after the pool
+    retires, modelling a policy with a stale replica cache."""
+
+    name = "sticky"
+
+    def __init__(self) -> None:
+        self.pinned = None
+
+    def choose(self, key, candidates):
+        if self.pinned is None:
+            followers = [v for v in candidates if not v.is_primary]
+            self.pinned = followers[0].pool if followers else None
+        return self.pinned
+
+
+class TestRoutingFallbackAccounting:
+    def test_late_arrivals_are_clamped_on_both_read_paths(self, config):
+        # A nominal time already in the past must dispatch at the clock on
+        # the primary path exactly like on the follower path -- and must
+        # not ratchet the whole shard batch forward with it.
+        cluster, kernel = build_cluster(config, policy="primary")
+        cluster.write("obj-0", b"v1")
+        cluster.run_until_idle()
+        t = kernel.now
+        late = cluster.router.invoke_read("obj-0", at=t - 100.0)
+        future = cluster.router.invoke_read("obj-0", at=t + 200.0)
+        cluster.run_until_idle()
+        assert cluster.router.result(late) is not None
+        assert cluster.router.result(future) is not None
+        history = cluster.history(global_clock=True)
+        invoked = sorted(op.invoked_at for op in history if op.kind == READ)
+        assert len(invoked) == 2
+        # The late read is clamped to ~t; the future read keeps its
+        # nominal time instead of being dragged 100 units forward by the
+        # batch ratchet the raw past timestamp used to trigger.
+        assert invoked[0] == pytest.approx(t)
+        assert invoked[1] == pytest.approx(t + 200.0)
+
+    def test_retired_choice_falls_back_visibly(self, config):
+        policy = _StickyPolicy()
+        cluster, kernel = build_cluster(config, r=3, policy=policy,
+                                        provision_delay=500.0)
+        cluster.write("obj-0", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["obj-0"]
+        assert cluster.read("obj-0").value == b"v1"  # pins a follower
+        pinned = policy.pinned
+        assert pinned is not None
+        cluster.fail_pool(pinned, time=kernel.now)
+        assert group.follower(pinned) is None
+        # The sticky policy still names the dead pool: the read must fall
+        # back to the primary and be counted as a *retired* fallback,
+        # distinct from the session-guard counter.
+        assert cluster.read("obj-0").value == b"v1"
+        stats = cluster.router_stats
+        assert stats.retired_fallbacks == 1
+        assert stats.session_fallbacks == 0
+        assert stats.primary_reads == 1
+
+    def test_both_fallback_kinds_are_counted_apart(self, config):
+        # Session-guard fallbacks keep their own counter next to the new
+        # retired-fallback counter.
+        cluster, kernel = build_cluster(config, policy="round-robin",
+                                        replication_lag=900.0)
+        write = cluster.router.invoke_write("obj-0", b"v1", session="s")
+        cluster.router.flush()
+        while cluster.router.result(write) is None:
+            kernel.step()
+        handles = [cluster.router.invoke_read("obj-0", session="s",
+                                              at=kernel.now + 1.0 + 60.0 * i)
+                   for i in range(3)]
+        cluster.run_until_idle()
+        del handles
+        stats = cluster.router_stats
+        assert stats.session_fallbacks >= 1
+        assert stats.retired_fallbacks == 0
+
+    def test_round_robin_gives_a_rejected_turn_back(self):
+        policy = RoundRobinPolicy()
+        views = [ReplicaView(pool=f"pool-{i}", is_primary=(i == 0),
+                             distance=1.0, reads_in_flight=0,
+                             reads_served=0, order=i) for i in range(3)]
+        assert policy.choose("k", views) == "pool-0"
+        choice = policy.choose("k", views)
+        assert choice == "pool-1"
+        policy.rejected("k", choice)
+        # The lagging replica keeps its place in the cycle.
+        assert policy.choose("k", views) == "pool-1"
+        assert policy.choose("k", views) == "pool-2"
+
+    def test_round_robin_cycle_stays_fair_across_guard_rejections(self, config):
+        cluster, kernel = build_cluster(config, policy="round-robin",
+                                        replication_lag=200.0)
+        write = cluster.router.invoke_write("obj-0", b"v1", session="s")
+        cluster.router.flush()
+        while cluster.router.result(write) is None:
+            kernel.step()
+        # Both follower turns are rejected by the guard while the lag
+        # holds (and re-offered, not consumed): reads 1-3 all hit the
+        # primary, with the cycle parked on the first follower.
+        stalled = [cluster.router.invoke_read("obj-0", session="s",
+                                              at=kernel.now + 1.0 + 60.0 * i)
+                   for i in range(3)]
+        cluster.run_until_idle()  # runs past the lag: followers catch up
+        for handle in stalled:
+            assert cluster.router.result(handle) is not None
+        fallbacks = cluster.router_stats.session_fallbacks
+        assert fallbacks >= 2
+        # Post-catch-up, the cycle resumes exactly where it was parked and
+        # serves every replica its fair share: 3 reads -> one each.
+        group = cluster.replicas.groups["obj-0"]
+        before = dict(cluster.router_stats.reads_by_replica)
+        for i in range(3):
+            assert cluster.read("obj-0", reader=0).value == b"v1"
+        after = cluster.router_stats.reads_by_replica
+        gained = {pool: after.get(pool, 0) - before.get(pool, 0)
+                  for pool in group.pools()}
+        assert sorted(gained.values()) == [1, 1, 1], gained
+        assert cluster.router_stats.session_fallbacks == fallbacks
+
+
+class TestStrandedReadAccounting:
+    def test_stranded_follower_read_is_reported_and_idle_detection_holds(
+            self, config):
+        cluster, kernel = build_cluster(config, policy="round-robin",
+                                        follower_read_latency=50.0)
+        cluster.write("k", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["k"]
+        cluster.read("k")  # round robin: primary first
+        handle = cluster.router.invoke_read("k")  # then follower A
+        pool_a = group.live_followers()[0].pool
+        cluster.fail_pool(pool_a, time=kernel.now)
+        # The kill must not wedge the kernel: the pump drains everything
+        # else and goes idle with the read still pending.
+        cluster.run_until_idle()
+        assert cluster.replicas.incomplete_reads() == 1
+        assert cluster.router.result(handle) is None
+        assert cluster.router.incomplete_operations() >= 1
+        # Idle detection is stable: pumping again is an immediate no-op.
+        now = kernel.now
+        cluster.run_until_idle()
+        assert kernel.now == now
+        assert cluster.replicas.incomplete_reads() == 1
+
+
+class TestReviewRegressions:
+    def test_quorum_fallback_counts_the_logical_read_once(self, config):
+        # A quorum read whose merge falls back to the primary must not
+        # inflate routed_reads by landing in both quorum_reads and
+        # primary_reads.
+        cluster, kernel = build_cluster(config, policy="quorum",
+                                        replication_lag=900.0, read_quorum=2,
+                                        read_repair=False)
+        write = cluster.router.invoke_write("obj-0", b"v1", session="s")
+        cluster.router.flush()
+        while cluster.router.result(write) is None:
+            kernel.step()
+        handles = [cluster.router.invoke_read("obj-0", session="s",
+                                              at=kernel.now + 1.0 + 60.0 * i)
+                   for i in range(3)]
+        cluster.run_until_idle()
+        for handle in handles:
+            assert cluster.router.result(handle) is not None
+        stats = cluster.router_stats
+        assert stats.session_fallbacks == 1
+        assert stats.quorum_reads == 3
+        assert stats.primary_reads == 0  # the fallback stays a quorum read
+        assert stats.routed_reads == 3
+
+    def test_via_must_name_a_group_member(self, config):
+        cluster, _ = build_cluster(config, policy="primary")
+        cluster.write("obj-0", b"v1")
+        cluster.run_until_idle()
+        with pytest.raises(ValueError, match="no replica"):
+            cluster.router.invoke_write("obj-0", b"v2", via="pool-nope")
+        assert cluster.router_stats.forwarded_writes == 0
+
+    def test_via_requires_replica_groups(self, config):
+        cluster = ShardedCluster(config, ["pool-0", "pool-1"])
+        with pytest.raises(ValueError, match="replica groups"):
+            cluster.invoke_write("obj-0", b"v1", via="pool-1")
+
+    def test_primary_leg_survives_a_benign_mid_flight_migration(self, config):
+        # A rebalance moving the primary while a quorum leg is in flight
+        # is not a crash: the queried pool is alive and its answer (the
+        # committed head, which only grows) must stand instead of the
+        # read stranding incomplete.
+        cluster, _ = build_cluster(config, r=2, pools=3, policy="quorum",
+                                   read_quorum=1,
+                                   follower_read_latency=50.0)
+        cluster.write("obj-0", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["obj-0"]
+        handle = cluster.router.invoke_read("obj-0")  # leg at the primary
+        old_primary = group.primary_pool
+        cluster.remove_pool(old_primary, time=0.0)  # migrates mid-flight
+        assert group.primary_pool != old_primary
+        cluster.run_until_idle()
+        result = cluster.router.result(handle)
+        assert result is not None, "a migration must not strand the leg"
+        assert result.value == b"v1"
+        assert cluster.replicas.incomplete_reads() == 0
+
+    def test_primary_ingress_write_clamps_late_nominal_times(self, config):
+        # A coordinator-routed write arriving at the primary with a past
+        # nominal time is clamped exactly like the forwarded path, so a
+        # co-batched future operation keeps its nominal timestamp.
+        cluster, kernel = build_cluster(config, policy="primary")
+        cluster.write("obj-0", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["obj-0"]
+        t = kernel.now
+        late = cluster.router.invoke_write("obj-0", b"v2",
+                                           via=group.primary_pool,
+                                           at=t - 100.0)
+        future = cluster.router.invoke_read("obj-0", at=t + 200.0)
+        cluster.run_until_idle()
+        assert cluster.router.result(late).value == b"v2"
+        history = cluster.history(global_clock=True)
+        read_at = [op.invoked_at for op in history if op.kind == READ]
+        assert read_at == [pytest.approx(t + 200.0)]
+        del future
+
+    def test_crashed_then_recovered_primary_leg_stays_silent(self, config):
+        # A primary pool that dies mid-leg and recovers before the leg's
+        # completion event fires must not fabricate an answer: recovery
+        # cannot un-lose the in-flight request.
+        cluster, kernel = build_cluster(config, policy="quorum",
+                                        read_quorum=1,
+                                        follower_read_latency=50.0,
+                                        failover_detection_delay=5.0)
+        cluster.write("k", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["k"]
+        handle = cluster.router.invoke_read("k")  # window = [primary]
+        victim = group.primary_pool
+        cluster.fail_pool(victim, time=kernel.now)
+        for node in cluster.membership.pool_nodes(victim):
+            cluster.membership.recover(node.node_id, time=kernel.now)
+        cluster.run_until_idle()
+        assert cluster.router.result(handle) is None
+        assert cluster.replicas.incomplete_reads() == 1
+        stranded = [op for op in cluster.history()
+                    if op.client_id.startswith("replica:quorum")
+                    and not op.is_complete]
+        assert len(stranded) == 1
+
+    def test_gracefully_dropped_follower_leg_still_answers(self, config):
+        # A rebalance retiring a follower mid-flight is not a crash: the
+        # store served until the drop and its in-flight answers stand, on
+        # both the single-store path and the quorum leg path.
+        for policy, quorum in (("round-robin", None), ("quorum", 1)):
+            kwargs = {"follower_read_latency": 50.0}
+            if quorum is not None:
+                kwargs["read_quorum"] = quorum
+            cluster, _ = build_cluster(config, r=2, pools=3, policy=policy,
+                                       **kwargs)
+            cluster.write("obj-0", b"v1")
+            cluster.run_until_idle()
+            group = cluster.replicas.groups["obj-0"]
+            cluster.read("obj-0")  # tick the cycle onto the follower
+            handle = cluster.router.invoke_read("obj-0")
+            follower_pool = group.live_followers()[0].pool
+            cluster.remove_pool(follower_pool, time=0.0)  # graceful
+            cluster.run_until_idle()
+            result = cluster.router.result(handle)
+            assert result is not None, (policy, "graceful drop must answer")
+            assert result.value == b"v1"
+            assert cluster.replicas.incomplete_reads() == 0
+
+    def test_a_lagging_follower_does_not_starve_its_healthy_peer(self, config):
+        # The reviewer's starvation case: one follower lags the session
+        # floor, the other is current.  Each rejected turn must pass to
+        # the next candidate, so the healthy follower keeps serving
+        # instead of every read collapsing onto the primary.
+        cluster, kernel = build_cluster(config, policy="round-robin",
+                                        replication_lag=10_000.0)
+        write = cluster.router.invoke_write("obj-0", b"v1", session="s")
+        cluster.router.flush()
+        while cluster.router.result(write) is None:
+            kernel.step()
+        group = cluster.replicas.groups["obj-0"]
+        lagging, healthy = group.live_followers()
+        healthy.apply(group.log[-1])  # caught up; the other stays stale
+        handles = [cluster.router.invoke_read("obj-0", session="s",
+                                              at=kernel.now + 1.0 + 60.0 * i)
+                   for i in range(6)]
+        cluster.run_until_idle()
+        for handle in handles:
+            assert cluster.router.result(handle) is not None
+        assert healthy.reads_served > 0, "healthy follower was starved"
+        assert lagging.reads_served == 0
+        stats = cluster.router_stats
+        assert stats.follower_reads == healthy.reads_served
+        assert check_sessions(cluster.history(global_clock=True)).ok
+
+    def test_the_quorum_pool_name_is_reserved(self, config):
+        with pytest.raises(ValueError, match="reserved"):
+            ShardedCluster(config, ["quorum", "pool-1"],
+                           replication=ReplicationConfig(r=2))
+        with pytest.raises(ValueError, match="reserved"):
+            ShardedCluster(config, ["quorum/east", "pool-1"],
+                           replication=ReplicationConfig(r=2))
+        cluster, _ = build_cluster(config)
+        with pytest.raises(ValueError, match="reserved"):
+            cluster.add_pool("quorum")
+        # Without replica groups there is no quorum client-id namespace
+        # to collide with; the name stays usable.
+        ShardedCluster(config, ["quorum", "pool-1"])
+
+    def test_primary_ingress_during_freeze_is_not_a_forward(self, config):
+        # A write arriving *at the primary pool* never pays a forwarding
+        # hop -- even mid-failover, where it queues at the frozen slot and
+        # flushes into the promoted epoch.
+        cluster, kernel = build_cluster(config, policy="primary",
+                                        failover_detection_delay=20.0)
+        cluster.write("k", b"v1")
+        cluster.run_until_idle()
+        group = cluster.replicas.groups["k"]
+        victim = group.primary_pool
+        cluster.fail_pool(victim, time=kernel.now)
+        assert group.status == FAILING_OVER
+        handle = cluster.router.invoke_write("k", b"v2", via=victim,
+                                             session="w")
+        cluster.run_until_idle()
+        assert group.status == NORMAL
+        assert cluster.router.result(handle).value == b"v2"
+        assert cluster.router_stats.forwarded_writes == 0

@@ -136,3 +136,65 @@ class TestStaleFollowerInjection:
         ])
         with pytest.raises(InjectionError, match="follower"):
             inject_stale_follower_read(history)
+
+
+class TestQuorumDropInjection:
+    def quorum_history(self) -> History:
+        """A session whose last read was resolved by a quorum merge."""
+        return History([
+            op("w1", WRITE, 0, 1, tag=1, value=b"a"),
+            op("w2", WRITE, 4, 5, tag=2, value=b"b"),
+            op("qr1", READ, 8, 9, tag=2, value=b"b",
+               client="replica:quorum/reader-0"),
+        ])
+
+    def test_dropped_max_version_response_is_detected(self):
+        from repro.consistency.injection import (
+            inject_quorum_version_drop,
+            is_quorum_read,
+        )
+        history = self.quorum_history()
+        assert check_sessions(history).ok
+        injection = inject_quorum_version_drop(history)
+        assert injection.mutated == ("qr1",)
+        assert injection.guarantee == "read-your-writes"
+        report = check_sessions(injection.history)
+        assert not report.ok
+        assert any("qr1" in violation.operations
+                   for violation in report.violations)
+        mutated = next(o for o in injection.history if o.op_id == "qr1")
+        assert is_quorum_read(mutated)
+        assert mutated.tag == 1  # the stale member's answer won the merge
+
+    def test_follower_reads_are_not_quorum_sites(self):
+        # A history with follower-served (but never quorum-merged) reads
+        # must have no quorum-drop site: the two injections target
+        # different read paths.
+        from repro.consistency.injection import (
+            InjectionError,
+            inject_quorum_version_drop,
+            inject_stale_follower_read,
+        )
+        history = History([
+            op("w1", WRITE, 0, 1, tag=1, value=b"a"),
+            op("w2", WRITE, 4, 5, tag=2, value=b"b"),
+            op("fr1", READ, 8, 9, tag=2, value=b"b",
+               client="replica:pool-1/reader-0"),
+        ])
+        inject_stale_follower_read(history)  # has a follower site
+        with pytest.raises(InjectionError, match="quorum"):
+            inject_quorum_version_drop(history)
+
+    def test_quorum_reads_are_also_follower_injection_sites(self):
+        # is_follower_read is the broad replica-served class; quorum
+        # reads belong to it, so the generic stale-replica drill covers
+        # them too.
+        from repro.consistency.injection import (
+            inject_stale_follower_read,
+            is_follower_read,
+            is_quorum_read,
+        )
+        history = self.quorum_history()
+        read = next(o for o in history if o.op_id == "qr1")
+        assert is_quorum_read(read) and is_follower_read(read)
+        assert inject_stale_follower_read(history).mutated == ("qr1",)

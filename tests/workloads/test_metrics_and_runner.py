@@ -135,3 +135,47 @@ class TestReadDistribution:
         assert empty.mean == 0.0
         assert empty.coefficient_of_variation == 0.0
         assert "total=0" in empty.describe()
+
+
+class TestQuorumDistribution:
+    def test_quorum_counters_flow_from_router_stats(self):
+        from repro.cluster.router import RouterStats
+        from repro.workloads.metrics import ReadDistribution
+        stats = RouterStats()
+        stats.primary_reads = 2
+        stats.quorum_reads = 8
+        stats.quorum_depths = {2: 6, 1: 2}
+        stats.read_repairs = 3
+        stats.forwarded_writes = 5
+        stats.retired_fallbacks = 1
+        stats.session_fallbacks = 4
+        distribution = ReadDistribution.from_router_stats(stats)
+        assert distribution.total == 10  # quorum reads count once each
+        assert distribution.quorum_reads == 8
+        assert distribution.mean_quorum_depth == pytest.approx(14 / 8)
+        assert distribution.read_repairs == 3
+        assert distribution.read_repair_rate == pytest.approx(3 / 8)
+        assert distribution.forwarded_writes == 5
+        assert distribution.retired_fallbacks == 1
+        assert distribution.session_fallback_rate == pytest.approx(0.4)
+        assert "quorum_reads=8" in distribution.describe()
+        assert "forwarded_writes=5" in distribution.describe()
+
+    def test_legacy_stats_objects_default_the_new_counters(self):
+        # from_router_stats stays duck-typed: an object exposing only the
+        # pre-quorum counters must still build a distribution.
+        from repro.workloads.metrics import ReadDistribution
+
+        class LegacyStats:
+            reads_by_replica = {"a": 1}
+            primary_reads = 1
+            follower_reads = 0
+            session_fallbacks = 0
+            failover_deferrals = 0
+            policy_hit_rate = 1.0
+
+        distribution = ReadDistribution.from_router_stats(LegacyStats())
+        assert distribution.quorum_reads == 0
+        assert distribution.mean_quorum_depth == 0.0
+        assert distribution.read_repair_rate == 0.0
+        assert distribution.forwarded_writes == 0

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import time
 
-from bench_utils import emit_table
+from bench_utils import emit_json, emit_table
 
 from repro import (
     ClusterSimulation,
@@ -79,11 +79,15 @@ def test_bench_event_pump():
     # heap it must stay flat.
     rows = []
     ratios = {}
+    kernel_walls = {}
+    legacy_walls = {}
     for pools in (3, 8, 12):
         num_keys = 8 * pools
         num_operations = 6 * num_keys
         legacy = _run_legacy(pools, num_keys, num_operations)
         kernel = _run_kernel(pools, num_keys, num_operations)
+        kernel_walls[pools] = kernel["wall"]
+        legacy_walls[pools] = legacy["wall"]
         for backend, run in (("legacy-loop", legacy), ("global-kernel", kernel)):
             rows.append((
                 pools,
@@ -107,6 +111,20 @@ def test_bench_event_pump():
          "sim events", "events/s", "switch rate"],
         rows,
     )
+    emit_json("BENCH_event_pump.json", {
+        "name": "event_pump",
+        "seed": SEED,
+        "config": {"duration": DURATION, "pool_counts": [3, 8, 12],
+                   "keys_per_pool": 8, "ops_per_key": 6},
+        "metrics": {
+            f"pools_{pools}": {
+                "kernel_over_legacy_wall": ratios[pools],
+                "kernel_wall_s": kernel_walls[pools],
+                "legacy_wall_s": legacy_walls[pools],
+            }
+            for pools in ratios
+        },
+    })
 
     # Loose sanity bound only: single-sample wall-clock ratios are noisy
     # on shared CI runners, so the table above is the real regression

@@ -107,13 +107,30 @@ def test_bench_quorum_reads():
          "mean depth", "fallback rate", "read repairs", "replica traffic"],
         [row(run) for run in runs] + [row(lag_only)],
     )
+    def label(run):
+        suffix = "" if run["read_repair"] else "_no_repair"
+        return f"q{run['read_quorum']}{suffix}"
+
     emit_json("BENCH_quorum_reads.json", {
+        "name": "quorum_reads",
+        "seed": SEED,
         "experiment": "quorum_reads",
         "config": {
             "r": 3, "pools": len(POOLS), "seed": SEED,
             "keys": NUM_KEYS, "operations": OPERATIONS,
             "write_fraction": WRITE_FRACTION,
             "replication_lag": REPLICATION_LAG,
+        },
+        # The cross-PR trajectory keys: one flat indicator set per
+        # configuration (see benchmarks/test_results_schema.py).
+        "metrics": {
+            label(run): {
+                "mean_read_latency": run["mean_read_latency"],
+                "session_fallback_rate": run["session_fallback_rate"],
+                "read_repairs": run["read_repairs"],
+                "wall_s": run["wall_s"],
+            }
+            for run in runs + [lag_only]
         },
         "runs": runs + [lag_only],
     })

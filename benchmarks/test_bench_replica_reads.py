@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-from bench_utils import emit_table
+from bench_utils import emit_json, emit_table
 
 from repro import (
     ClusterSimulation,
@@ -67,10 +67,19 @@ def _run(r: int):
 def test_bench_replica_reads():
     rows = []
     smoke = {}
+    metrics = {}
     for r in (1, 2, 3):
         run = _run(r)
         distribution = run["distribution"]
         smoke[r] = distribution
+        metrics[f"r{r}"] = {
+            "wall_s": run["wall"],
+            "reads_per_s_wall": run["reads"] / run["wall"],
+            "mean_read_latency": run["read_latency"],
+            "follower_fraction": distribution.follower_fraction,
+            "serve_cv": distribution.coefficient_of_variation,
+            "replication_cost": run["replication_cost"],
+        }
         rows.append((
             r,
             f"{run['wall'] * 1e3:.1f}",
@@ -89,6 +98,15 @@ def test_bench_replica_reads():
          "follower share", "serve CV", "policy hit rate", "replication cost"],
         rows,
     )
+    emit_json("BENCH_replica_reads.json", {
+        "name": "replica_reads",
+        "seed": SEED,
+        "config": {"pools": len(POOLS), "keys": NUM_KEYS,
+                   "operations": OPERATIONS,
+                   "write_fraction": WRITE_FRACTION,
+                   "replication_lag": 25.0, "read_policy": "round-robin"},
+        "metrics": metrics,
+    })
 
     # The balance claims the table makes, asserted so the benchmark doubles
     # as a smoke test: replication actually offloads the primaries.

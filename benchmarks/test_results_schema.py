@@ -1,0 +1,45 @@
+"""Schema gate for the machine-readable benchmark artefacts.
+
+Every ``benchmarks/results/BENCH_*.json`` is part of the cross-PR perf
+trajectory: downstream tooling reads them by stable name and expects at
+least ``{name, seed, metrics}`` at the top level.  This test keeps the
+committed artefacts honest -- a bench that emits a malformed file (or a
+hand-edited result that drops a key) fails here, in tier 1, not in some
+later consumer.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+REQUIRED_KEYS = ("name", "seed", "metrics")
+
+
+def _bench_files():
+    return sorted(glob.glob(os.path.join(RESULTS_DIR, "BENCH_*.json")))
+
+
+def test_bench_artifacts_exist():
+    assert _bench_files(), "no BENCH_*.json artefacts committed"
+
+
+@pytest.mark.parametrize("path", _bench_files(),
+                         ids=[os.path.basename(p) for p in _bench_files()])
+def test_bench_artifact_schema(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert isinstance(payload, dict), f"{path} is not a JSON object"
+    missing = [key for key in REQUIRED_KEYS if key not in payload]
+    assert not missing, (
+        f"{os.path.basename(path)} is missing required keys {missing}; "
+        f"every BENCH_*.json carries {REQUIRED_KEYS}"
+    )
+    assert isinstance(payload["name"], str) and payload["name"]
+    assert isinstance(payload["seed"], int)
+    assert isinstance(payload["metrics"], dict) and payload["metrics"]

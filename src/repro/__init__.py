@@ -24,7 +24,11 @@ with every substrate it depends on:
 * ``repro.sim`` -- the global-clock simulation kernel: one merged event
   pump over every per-shard simulator, a declarative scenario engine, and
   the :class:`ClusterSimulation` harness for cross-shard timing
-  experiments.
+  experiments;
+* ``repro.obs`` -- simulation-time observability: the metrics registry,
+  kernel-driven time-series sampling, per-operation Chrome trace spans,
+  and pump profiling -- all pure observation (telemetry on or off, runs
+  are byte-identical).
 
 Quickstart::
 
@@ -91,6 +95,7 @@ from repro.sim import (
     ScenarioAction,
     ScenarioEngine,
 )
+from repro.obs import MetricsRegistry, Telemetry
 
 __version__ = "1.2.0"
 
@@ -139,5 +144,7 @@ __all__ = [
     "Scenario",
     "ScenarioAction",
     "ScenarioEngine",
+    "MetricsRegistry",
+    "Telemetry",
     "__version__",
 ]

@@ -64,7 +64,8 @@ class ShardedCluster:
                  repair_slot_jitter: float = 0.0,
                  seed: Optional[int] = None,
                  replication: Optional[ReplicationConfig] = None,
-                 read_policy: Union[str, ReadRoutingPolicy] = "primary") -> None:
+                 read_policy: Union[str, ReadRoutingPolicy] = "primary",
+                 telemetry=None) -> None:
         if not pool_names:
             raise ValueError("a cluster needs at least one pool")
         self.config = config
@@ -89,6 +90,7 @@ class ShardedCluster:
             latency_factory=latency_factory,
             replication=replication,
             read_policy=read_policy,
+            telemetry=telemetry,
         )
         self.repair = RepairScheduler(
             self.router,

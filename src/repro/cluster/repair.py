@@ -67,6 +67,8 @@ class RepairStats:
     """Aggregate counters for the scheduler."""
 
     tasks_created: int = 0
+    #: Tasks that booked a rate-limiter slot (a retry books again).
+    dispatched: int = 0
     repairs_completed: int = 0
     repairs_skipped: int = 0
     retries: int = 0
@@ -188,6 +190,7 @@ class RepairScheduler:
         self._slots[slot_index] = start + self.min_interval
         task.scheduled_at = start
         task.status = SCHEDULED
+        self.stats.dispatched += 1
         self.router.schedule_on_shard(shard, start, lambda: self._execute(task))
 
     # -- execution -------------------------------------------------------------------

@@ -566,7 +566,18 @@ class ReplicaCoordinator:
         #: recovered (recovery empties ``_dead_pools``, but it cannot
         #: un-lose an in-flight request).
         self._pool_crashes: Dict[str, int] = {}
+        #: Tracing bookkeeping (only filled while the router traces):
+        #: log seq -> write handle, so replication applies can hang child
+        #: spans off the write that produced the record; handle -> freeze
+        #: start, so deferred reads get a freeze-wait span at flush.
+        self._record_handles: Dict[int, str] = {}
+        self._freeze_started: Dict[str, float] = {}
         self.membership.subscribe(self._on_membership_event)
+
+    @property
+    def _trace(self):
+        """The router's trace recorder (None when tracing is off)."""
+        return self.router._trace
 
     # -- wiring ------------------------------------------------------------------
 
@@ -700,6 +711,10 @@ class ReplicaCoordinator:
                                epoch=epoch, tag=result.tag, value=result.value)
         group.log.append(record)
         self.stats.records_logged += 1
+        if self._trace is not None:
+            handle = self.router._op_handles.get((object_id, result.op_id))
+            if handle is not None:
+                self._record_handles[record.seq] = handle
         if record.version > group.latest_version:
             group.latest_version = record.version
             group.latest_value = record.value
@@ -722,6 +737,15 @@ class ReplicaCoordinator:
         if store.apply(record):
             self.stats.records_applied += 1
             self.replication_cost += self.config.replication_unit_cost
+            tracer = self._trace
+            if tracer is not None:
+                handle = self._record_handles.get(record.seq)
+                if handle is not None:
+                    tracer.child_span(
+                        handle, f"replication-apply {store.pool}", "replica",
+                        record.committed_at, self._now(),
+                        args={"pool": store.pool, "seq": record.seq},
+                    )
 
     # -- epoch transitions driven by the router -----------------------------------------
 
@@ -801,6 +825,9 @@ class ReplicaCoordinator:
         # consistent invocation timestamps.
         dispatch_at = now if at is None else max(at, now)
         clamped_at = None if at is None else dispatch_at
+        if self._trace is not None:
+            self._trace.begin_op(handle, READ, group.key, dispatch_at,
+                                 args={"reader": reader, "session": session})
 
         if self.read_quorum is not None:
             return self._invoke_quorum_read(group, handle, reader,
@@ -858,6 +885,8 @@ class ReplicaCoordinator:
             group.deferred_reads.append((handle, reader, dispatch_at, session))
             self._pending.add(handle)
             stats.failover_deferrals += 1
+            if self._trace is not None:
+                self._freeze_started[handle] = dispatch_at
             return handle
         if routed == choice and choice is not None:
             stats.policy_honored += 1
@@ -880,9 +909,7 @@ class ReplicaCoordinator:
             self._quorum_counted.discard(handle)
         else:
             stats.primary_reads += 1
-        stats.reads_by_replica[group.primary_pool] = (
-            stats.reads_by_replica.get(group.primary_pool, 0) + 1
-        )
+        stats.count_replica_read(group.primary_pool)
         group.primary_in_flight += 1
         group.dispatched[group.primary_pool] = (
             group.dispatched.get(group.primary_pool, 0) + 1
@@ -901,9 +928,7 @@ class ReplicaCoordinator:
         # still counts as *routed* to its replica (see RouterStats).
         stats = self.router.stats
         stats.follower_reads += 1
-        stats.reads_by_replica[store.pool] = (
-            stats.reads_by_replica.get(store.pool, 0) + 1
-        )
+        stats.count_replica_read(store.pool)
         respond_at = at + self._read_latency(store)
         self.kernel.schedule_at(
             max(respond_at, self._now()),
@@ -934,6 +959,11 @@ class ReplicaCoordinator:
                 op_id=op_id, client_id=client_id, kind=READ,
                 object_id=object_id, invoked_at=invoked_at, session=session,
             ))
+            if self._trace is not None:
+                self._trace.child_instant(
+                    handle, f"store-crashed {store.pool}", "replica", now,
+                    args={"pool": store.pool},
+                )
             return
         store.reads_served += 1
         group.history.add(Operation(
@@ -949,6 +979,11 @@ class ReplicaCoordinator:
         self._pending.discard(handle)
         self._bump_floor(session, group.key, (epoch, tag))
         self.read_cost += self.config.follower_read_cost
+        tracer = self._trace
+        if tracer is not None:
+            tracer.child_span(handle, f"store-read {store.pool}", "replica",
+                              invoked_at, now, args={"pool": store.pool})
+            tracer.end_op(handle, now, args={"tag": str(tag)})
 
     # -- quorum reads --------------------------------------------------------------------
 
@@ -974,6 +1009,8 @@ class ReplicaCoordinator:
             group.deferred_reads.append((handle, reader, dispatch_at, session))
             self._pending.add(handle)
             stats.failover_deferrals += 1
+            if self._trace is not None:
+                self._freeze_started[handle] = dispatch_at
             return handle
         pools = self.policy.choose_quorum(group.key, candidates,
                                           self.read_quorum)
@@ -993,9 +1030,7 @@ class ReplicaCoordinator:
             if store is not None:
                 store.reads_in_flight += 1
             group.dispatched[pool] = group.dispatched.get(pool, 0) + 1
-            stats.reads_by_replica[pool] = (
-                stats.reads_by_replica.get(pool, 0) + 1
-            )
+            stats.count_replica_read(pool)
             latency = self._scaled_latency(view.distance,
                                            self.config.follower_read_latency)
             self.kernel.schedule_at(
@@ -1011,6 +1046,7 @@ class ReplicaCoordinator:
                              crashes_at_dispatch: int) -> None:
         pending.outstanding -= 1
         group = pending.group
+        answered = False
         if store is not None:
             store.reads_in_flight -= 1
             # Same crash-generation rule as the single-store path: only a
@@ -1020,6 +1056,7 @@ class ReplicaCoordinator:
                 store.reads_served += 1
                 self.read_cost += self.config.follower_read_cost
                 pending.responses.append((store.version, store.value, store))
+                answered = True
         elif self._pool_crashes.get(pool, 0) == crashes_at_dispatch:
             # The primary leg answers from the committed log head, sampled
             # at response time.  Only a *crash* of the queried pool while
@@ -1033,6 +1070,12 @@ class ReplicaCoordinator:
             self.read_cost += self.config.follower_read_cost
             pending.responses.append(
                 (group.latest_version, group.latest_value, None))
+            answered = True
+        tracer = self._trace
+        if tracer is not None:
+            tracer.child_span(pending.handle, f"quorum-leg {pool}", "replica",
+                              pending.invoked_at, self._now(),
+                              args={"pool": pool, "answered": answered})
         if pending.outstanding == 0:
             self._merge_quorum(pending)
 
@@ -1044,7 +1087,8 @@ class ReplicaCoordinator:
         del self._quorums[handle]
         stats = self.router.stats
         depth = len(pending.responses)
-        stats.quorum_depths[depth] = stats.quorum_depths.get(depth, 0) + 1
+        stats.observe_quorum_depth(depth)
+        tracer = self._trace
         op_id = (f"{group.key}/{REPLICA_CLIENT_PREFIX}quorum"
                  f"/read-{group.next_read_id()}")
         client_id = (f"{REPLICA_CLIENT_PREFIX}quorum"
@@ -1058,10 +1102,14 @@ class ReplicaCoordinator:
                 object_id=join_object_id(group.key, group.epoch),
                 invoked_at=pending.invoked_at, session=session,
             ))
+            if tracer is not None:
+                tracer.child_instant(handle, "quorum-stranded", "replica",
+                                     now, args={"depth": depth})
             return
         version, value, _ = max(pending.responses, key=lambda r: r[0])
         if self.config.read_repair:
-            self._read_repair(group, pending.responses, version, now)
+            self._read_repair(group, pending.responses, version, now,
+                              handle=handle)
         floor = self.session_floor(session, group.key)
         if self.config.session_guard and floor is not None \
                 and version < floor:
@@ -1070,10 +1118,15 @@ class ReplicaCoordinator:
             # at the primary.  The legs' transfer cost was still paid.
             stats.session_fallbacks += 1
             self._quorum_counted.add(handle)
+            if tracer is not None:
+                tracer.child_instant(handle, "quorum-fallback", "replica",
+                                     now, args={"depth": depth})
             if group.status != NORMAL:
                 group.deferred_reads.append(
                     (handle, pending.reader, now, session))
                 stats.failover_deferrals += 1
+                if tracer is not None:
+                    self._freeze_started[handle] = now
                 return
             self._pending.discard(handle)
             self._dispatch_primary_read(group, handle, pending.reader, now,
@@ -1095,9 +1148,12 @@ class ReplicaCoordinator:
         self._handle_costs[handle] = depth * self.config.follower_read_cost
         self._pending.discard(handle)
         self._bump_floor(session, group.key, version)
+        if tracer is not None:
+            tracer.end_op(handle, now,
+                          args={"tag": str(tag), "depth": depth})
 
     def _read_repair(self, group: ReplicaGroup, responses, merged: Version,
-                     now: float) -> None:
+                     now: float, handle: Optional[str] = None) -> None:
         """Catch up the quorum members the merge observed stale.
 
         Only stores that *answered this quorum* are repaired (follower
@@ -1127,6 +1183,11 @@ class ReplicaCoordinator:
                  f"{group.key}: {store.pool} repaired to {store.version} "
                  f"({applied} record(s))")
             )
+            if self._trace is not None and handle is not None:
+                self._trace.child_instant(
+                    handle, f"read-repair {store.pool}", "replica", now,
+                    args={"pool": store.pool, "records": applied},
+                )
 
     # -- write forwarding ----------------------------------------------------------------
 
@@ -1179,6 +1240,15 @@ class ReplicaCoordinator:
                                      self.config.forward_latency)
         self._forwarding.add(handle)
         arrive_at = dispatch_at + delay
+        tracer = self._trace
+        if tracer is not None:
+            tracer.begin_op(handle, WRITE, key, dispatch_at,
+                            args={"writer": writer, "session": session,
+                                  "via": ingress})
+            tracer.child_span(handle, f"forward-hop {ingress}", "replica",
+                              dispatch_at, arrive_at,
+                              args={"from": ingress,
+                                    "to": group.primary_pool})
         self.kernel.schedule_at(
             max(arrive_at, now),
             lambda: self._deliver_forwarded_write(group, handle, bytes(value),
@@ -1391,8 +1461,15 @@ class ReplicaCoordinator:
         # Un-freeze: flush the writes and reads queued during the failover.
         deferred = group.deferred_reads
         group.deferred_reads = []
+        tracer = self._trace
         for handle, reader, at, session in deferred:
             self._pending.discard(handle)
+            if tracer is not None:
+                started = self._freeze_started.pop(handle, None)
+                if started is not None:
+                    tracer.child_span(handle, "freeze-wait", "failover",
+                                      started, now,
+                                      args={"promoted": successor.pool})
             self._dispatch_primary_read(group, handle, reader, at, session)
         self.router.flush_key(group.key)
         # Restore r-way redundancy: the dead primary's slot is re-provisioned

@@ -76,6 +76,7 @@ from repro.core.config import LDSConfig
 from repro.core.results import OperationResult
 from repro.core.system import LDSSystem
 from repro.net.latency import BoundedLatencyModel, LatencyModel
+from repro.obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -111,50 +112,118 @@ class Shard:
         return self.system.object_id
 
 
-@dataclass
 class RouterStats:
     """Counters describing the router's batching, migration and (with
-    replica groups) read-routing activity."""
+    replica groups) read-routing activity.
 
-    batches_flushed: int = 0
-    operations_flushed: int = 0
-    largest_batch: int = 0
-    migrations: int = 0
-    #: Operations injected through kernel arrival events (kernel mode only).
-    arrivals: int = 0
-    #: Reads routed to a group's primary (replica mode only; includes
-    #: session-guard fallbacks and post-failover flushes of deferred reads).
-    primary_reads: int = 0
-    #: Reads routed to follower stores.  Both counters count at dispatch
-    #: time: a read stranded by a crash mid-flight stays counted as routed
-    #: (the merged history records whether it actually completed).
-    follower_reads: int = 0
-    #: Follower choices overridden to the primary by the session guard.
-    session_fallbacks: int = 0
-    #: Policy choices naming a pool without a live store (a just-retired
-    #: follower); rerouted to the primary like a session fallback, but
-    #: counted apart so stale-policy behaviour is visible.
-    retired_fallbacks: int = 0
-    #: Primary-bound reads queued behind an in-progress failover.
-    failover_deferrals: int = 0
-    #: Reads resolved by quorum fan-out (the ``quorum`` routing policy);
-    #: each counts once however many legs it queried.
-    quorum_reads: int = 0
-    #: Histogram of merged responses per quorum read (legs whose store
-    #: died mid-flight never answer, so depth < read_quorum marks a
-    #: degraded merge).
-    quorum_depths: Dict[int, int] = field(default_factory=dict)
-    #: Lagging stores caught up by quorum-merge read repair.
-    read_repairs: int = 0
-    #: Writes that arrived at a non-primary pool and were forwarded to
-    #: the primary (one forwarding hop on the kernel clock).
-    forwarded_writes: int = 0
-    #: Reads for which the routing policy expressed a concrete choice.
-    policy_choices: int = 0
-    #: ... of which the chosen replica actually served the read.
-    policy_honored: int = 0
-    #: Reads routed per pool (primary and follower routes combined).
-    reads_by_replica: Dict[str, int] = field(default_factory=dict)
+    Since the observability PR this is a *thin attribute view over the
+    metrics registry* (:mod:`repro.obs.registry`): every counter lives as
+    a ``router_*`` instrument on ``registry`` -- the shared telemetry
+    registry when the cluster runs with one, a private registry otherwise
+    -- so all router counters export through the registry's single
+    collect/to_dict path.  The historical attribute API is preserved
+    exactly: scalar counters read and assign like plain ints (``stats.
+    arrivals += 1``), and the dict-shaped series (``reads_by_replica``,
+    ``quorum_depths``) read as plain dicts and accept whole-dict
+    assignment, backed by labeled counter families.
+
+    Scalar counters (all monotone unless noted):
+
+    * ``batches_flushed`` / ``operations_flushed`` / ``largest_batch``
+      (a high-water gauge) / ``migrations``;
+    * ``arrivals`` -- operations injected through kernel arrival events;
+    * ``primary_reads`` -- reads routed to a group's primary (includes
+      session-guard fallbacks and post-failover flushes); ``follower_reads``
+      -- reads routed to follower stores.  Both count at dispatch time: a
+      read stranded by a crash mid-flight stays counted as routed;
+    * ``session_fallbacks`` -- follower choices overridden to the primary
+      by the session guard; ``retired_fallbacks`` -- policy choices naming
+      a pool without a live store, rerouted like a session fallback but
+      counted apart so stale-policy behaviour is visible;
+    * ``failover_deferrals`` -- primary-bound reads queued behind an
+      in-progress failover;
+    * ``quorum_reads`` -- reads resolved by quorum fan-out (each counts
+      once however many legs it queried); ``read_repairs`` -- lagging
+      stores caught up by quorum-merge read repair;
+    * ``forwarded_writes`` -- writes that arrived at a non-primary pool
+      and were forwarded (one hop on the kernel clock);
+    * ``policy_choices`` / ``policy_honored`` -- reads for which the
+      routing policy expressed a concrete choice / ... that the chosen
+      replica actually served.
+
+    Labeled families:
+
+    * ``reads_by_replica`` -- reads routed per pool (primary and follower
+      routes combined);
+    * ``quorum_depths`` -- merged responses per quorum read (legs whose
+      store died mid-flight never answer, so depth < read_quorum marks a
+      degraded merge).
+    """
+
+    #: attribute name -> (metric suffix, gauge?) for the scalar counters.
+    _SCALARS = {
+        "batches_flushed": ("router_batches_flushed", False),
+        "operations_flushed": ("router_operations_flushed", False),
+        "largest_batch": ("router_largest_batch", True),
+        "migrations": ("router_migrations", False),
+        "arrivals": ("router_arrivals", False),
+        "primary_reads": ("router_primary_reads", False),
+        "follower_reads": ("router_follower_reads", False),
+        "session_fallbacks": ("router_session_fallbacks", False),
+        "retired_fallbacks": ("router_retired_fallbacks", False),
+        "failover_deferrals": ("router_failover_deferrals", False),
+        "quorum_reads": ("router_quorum_reads", False),
+        "read_repairs": ("router_read_repairs", False),
+        "forwarded_writes": ("router_forwarded_writes", False),
+        "policy_choices": ("router_policy_choices", False),
+        "policy_honored": ("router_policy_honored", False),
+    }
+
+    def __init__(self, registry=None) -> None:
+        if registry is None:
+            registry = MetricsRegistry()
+        self._registry = registry
+        self._scalars = {}
+        for attr, (metric, is_gauge) in self._SCALARS.items():
+            make = registry.gauge if is_gauge else registry.counter
+            self._scalars[attr] = make(metric)
+        self._reads_by_replica = registry.counter(
+            "router_reads_by_replica", labels=("pool",))
+        self._quorum_depths = registry.counter(
+            "router_quorum_depth", labels=("depth",))
+
+    @property
+    def registry(self):
+        """The :class:`MetricsRegistry` the counters live on."""
+        return self._registry
+
+    # -- labeled families ---------------------------------------------------------
+
+    @property
+    def reads_by_replica(self) -> Dict[str, int]:
+        return self._reads_by_replica.as_dict()
+
+    @reads_by_replica.setter
+    def reads_by_replica(self, mapping: Dict[str, int]) -> None:
+        self._reads_by_replica.set_values(mapping)
+
+    def count_replica_read(self, pool: str, amount: int = 1) -> None:
+        """Count a read routed to ``pool`` (the hot-path increment)."""
+        self._reads_by_replica.labels(pool=pool).inc(amount)
+
+    @property
+    def quorum_depths(self) -> Dict[int, int]:
+        return self._quorum_depths.as_dict()
+
+    @quorum_depths.setter
+    def quorum_depths(self, mapping: Dict[int, int]) -> None:
+        self._quorum_depths.set_values(mapping)
+
+    def observe_quorum_depth(self, depth: int) -> None:
+        """Count one quorum merge that gathered ``depth`` responses."""
+        self._quorum_depths.labels(depth=depth).inc()
+
+    # -- derived ------------------------------------------------------------------
 
     @property
     def mean_batch_size(self) -> float:
@@ -180,6 +249,37 @@ class RouterStats:
             return 0.0
         return self.policy_honored / self.policy_choices
 
+    def as_dict(self) -> Dict[str, object]:
+        """A plain-dict snapshot of every counter (benchmarks, reports)."""
+        out: Dict[str, object] = {attr: getattr(self, attr)
+                                  for attr in self._SCALARS}
+        out["reads_by_replica"] = self.reads_by_replica
+        out["quorum_depths"] = self.quorum_depths
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        scalars = ", ".join(f"{attr}={getattr(self, attr)}"
+                            for attr in self._SCALARS)
+        return f"RouterStats({scalars})"
+
+
+def _scalar_view(attr: str) -> property:
+    """An int-like property over one of RouterStats' registry instruments."""
+    def getter(self):
+        return self._scalars[attr].value
+
+    def setter(self, value):
+        # Assignment semantics (``stats.arrivals += 1`` and test seeding
+        # both come through here): overwrite, don't re-add.
+        self._scalars[attr]._set(value)
+
+    return property(getter, setter)
+
+
+for _attr in RouterStats._SCALARS:
+    setattr(RouterStats, _attr, _scalar_view(_attr))
+del _attr
+
 
 def _object_id(key: str, epoch: int) -> str:
     return join_object_id(key, epoch)
@@ -204,7 +304,8 @@ class ObjectRouter:
                  latency_factory: Optional[Callable[[str, str], LatencyModel]] = None,
                  encode_cache_size: int = 64,
                  replication: Optional[ReplicationConfig] = None,
-                 read_policy: Union[str, ReadRoutingPolicy] = "primary") -> None:
+                 read_policy: Union[str, ReadRoutingPolicy] = "primary",
+                 telemetry=None) -> None:
         if writers_per_shard < 1 or readers_per_shard < 1:
             raise ValueError("each shard needs at least one writer and one reader "
                              "(reads also implement shard migration)")
@@ -239,7 +340,17 @@ class ObjectRouter:
         #: Callbacks invoked for every newly built shard (the repair
         #: scheduler uses this to cover shards born on degraded pools).
         self.shard_created_hooks: List[Callable[[Shard], None]] = []
-        self.stats = RouterStats()
+        #: The :class:`~repro.obs.telemetry.Telemetry` facade, or None.
+        #: Stats always register on its registry when present, so every
+        #: router counter exports through the one telemetry path.
+        self.telemetry = telemetry
+        self._trace = telemetry.trace if telemetry is not None else None
+        self.stats = RouterStats(
+            registry=telemetry.registry if telemetry is not None else None
+        )
+        #: (object_id, op_id) -> handle, recorded at flush while tracing so
+        #: shard completion hooks can close the right root span.
+        self._op_handles: Dict[tuple, str] = {}
         #: Global simulation kernel, or None for the legacy per-shard loop.
         self._kernel = None
         #: object_id -> global-clock offset of its simulator (kept for
@@ -369,11 +480,35 @@ class ObjectRouter:
             encode_cache_size=self.encode_cache_size,
         )
         shard = Shard(key=key, pool=pool, epoch=epoch, system=system)
+        if self._trace is not None:
+            # Pure observation: close root spans (and record the protocol
+            # phase) when the shard reports an operation complete.
+            system.completion_hooks.append(
+                lambda result, shard=shard: self._trace_completion(shard,
+                                                                   result)
+            )
         # A shard created while some of its pool's nodes are down must start
         # in the degraded state the pool is actually in.
         for node in self.membership.failed_nodes(pool):
             self._crash_slot(shard, node.role, node.index)
         return shard
+
+    def _trace_completion(self, shard: Shard, result: OperationResult) -> None:
+        """Record the protocol phase and close the op's root span."""
+        handle = self._op_handles.get((shard.object_id, result.op_id))
+        if handle is None:
+            # Internal traffic (migration copy reads) carries no handle.
+            return
+        offset = self._offset(shard)
+        invoked = result.invoked_at + offset
+        responded = result.responded_at + offset
+        self._trace.child_span(
+            handle, f"protocol-{result.kind}", "protocol", invoked, responded,
+            args={"op_id": result.op_id, "epoch": shard.epoch,
+                  "pool": shard.pool},
+        )
+        self._trace.end_op(handle, responded,
+                           args={"kind": result.kind, "tag": str(result.tag)})
 
     def _announce_shard(self, shard: Shard) -> None:
         """Fire creation hooks once the shard is registered and routable."""
@@ -470,6 +605,12 @@ class ObjectRouter:
         shard = self.shard(key)
         if handle is None:
             handle = self._new_handle(key, shard.epoch)
+            if self._trace is not None:
+                self._trace.begin_op(
+                    handle, WRITE, key,
+                    at if at is not None else self.shard_now(shard),
+                    args={"writer": writer, "session": session},
+                )
         else:
             self._handles[handle][1] = shard.epoch
         shard.pending.append(_PendingOp(handle=handle, kind=WRITE, client=writer,
@@ -504,6 +645,12 @@ class ObjectRouter:
         shard = self.shard(key)
         if handle is None:
             handle = self._new_handle(key, shard.epoch)
+            if self._trace is not None:
+                self._trace.begin_op(
+                    handle, READ, key,
+                    at if at is not None else self.shard_now(shard),
+                    args={"reader": reader, "session": session},
+                )
         else:
             self._handles[handle][1] = shard.epoch
         shard.pending.append(_PendingOp(handle=handle, kind=READ, client=reader,
@@ -612,6 +759,8 @@ class ObjectRouter:
             self._handles[op.handle][2] = op_id
             if op.session is not None:
                 self._op_sessions[(shard.object_id, op_id)] = op.session
+            if self._trace is not None:
+                self._op_handles[(shard.object_id, op_id)] = op.handle
         self.stats.batches_flushed += 1
         self.stats.operations_flushed += len(batch)
         self.stats.largest_batch = max(self.stats.largest_batch, len(batch))

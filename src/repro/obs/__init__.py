@@ -1,0 +1,50 @@
+"""Simulation-time observability: metrics, sampling, tracing, profiling.
+
+The four pillars (see ISSUE/README "Observability"):
+
+* :mod:`repro.obs.registry` -- the metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram`, with labels);
+* :mod:`repro.obs.sampler` -- kernel-driven time-series probes of
+  cluster health, exported as JSONL;
+* :mod:`repro.obs.trace` -- per-operation spans in Chrome
+  ``trace_event`` JSON (open in Perfetto / ``chrome://tracing``);
+* :mod:`repro.obs.profile` -- per-event-type pump attribution.
+
+:class:`Telemetry` bundles them for :class:`ClusterSimulation`; the
+governing invariant is that all of it is pure observation -- kernel
+fingerprints and histories are byte-identical with telemetry on or off.
+
+This package is imported *by* the simulation layers and must therefore
+never import :mod:`repro.sim` or :mod:`repro.cluster`; everything that
+touches a simulation is duck-typed.
+"""
+
+from repro.obs.profile import PumpProfile
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LabeledFamily,
+    MetricsRegistry,
+)
+from repro.obs.report import render_run_report
+from repro.obs.sampler import DEFAULT_INTERVAL, ClusterSampler
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace import TS_SCALE, TraceRecorder
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_INTERVAL",
+    "ClusterSampler",
+    "TraceRecorder",
+    "TS_SCALE",
+    "PumpProfile",
+    "Telemetry",
+    "render_run_report",
+]

@@ -1,0 +1,375 @@
+"""The metrics registry: counters, gauges and histograms with labels.
+
+One process-local registry holds every instrument of a run, so all
+counters -- the router's batching/routing stats, the sampler's cluster
+health gauges, benchmark-specific series -- export through **one path**
+(:meth:`MetricsRegistry.collect` / :meth:`MetricsRegistry.to_dict`)
+instead of one ad-hoc dataclass per subsystem.
+
+Instruments are deliberately minimal so the hot path stays cheap:
+
+* :class:`Counter` -- a monotonically increasing value (``inc``);
+* :class:`Gauge` -- a value that goes both ways (``set`` / ``inc`` /
+  ``dec`` / ``set_max``);
+* :class:`Histogram` -- fixed upper-bound buckets plus count / sum /
+  min / max (``observe``); no per-sample storage, O(log buckets) each.
+
+Registering a name twice returns the *same* instrument as long as the
+kind and label names match (so independent components can share a
+series without coordination); a mismatch raises instead of silently
+shadowing.  ``labels=(...)`` turns an instrument into a
+:class:`LabeledFamily` whose children are keyed by label values --
+``registry.counter("reads", labels=("pool",)).labels(pool="a").inc()``.
+
+Everything here is observation-only bookkeeping: instruments never
+schedule events, touch clocks, or otherwise feed back into the
+simulation, which is what keeps telemetry-on and telemetry-off runs
+byte-identical (see ``tests/sim/test_telemetry_noninterference.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default histogram upper bounds, in virtual time units.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} can only go up")
+        self._value += amount
+
+    def _set(self, value) -> None:
+        """Overwrite the value -- reserved for thin attribute-view bridges
+        (e.g. tests seeding a RouterStats snapshot), never the hot path."""
+        self._value = value
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, lag, live pools)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "_value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    def set(self, value) -> None:
+        self._value = value
+
+    def inc(self, amount=1) -> None:
+        self._value += amount
+
+    def dec(self, amount=1) -> None:
+        self._value -= amount
+
+    def set_max(self, value) -> None:
+        """Ratchet: keep the maximum of the current and the given value."""
+        if value > self._value:
+            self._value = value
+
+    _set = set  # the thin-view bridge hook, uniform across instruments
+
+    @property
+    def value(self):
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, value={self._value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram: per-bucket counts plus count/sum/min/max.
+
+    No per-sample storage -- ``observe`` is a bisect into the bound list
+    -- so it is safe on the hot path and in long samplers alike.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "help", "_bounds", "_counts", "count", "sum",
+                 "_minimum", "_maximum")
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(set(float(b) for b in buckets)))
+        if not bounds:
+            raise ValueError("a histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self._bounds = bounds
+        #: One count per bound, plus the overflow (+inf) bucket.
+        self._counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._minimum: Optional[float] = None
+        self._maximum: Optional[float] = None
+
+    def observe(self, value) -> None:
+        value = float(value)
+        self._counts[bisect.bisect_left(self._bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self._minimum is None or value < self._minimum:
+            self._minimum = value
+        if self._maximum is None or value > self._maximum:
+            self._maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return 0.0 if self._minimum is None else self._minimum
+
+    @property
+    def maximum(self) -> float:
+        return 0.0 if self._maximum is None else self._maximum
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative (upper_bound, count) pairs; the last bound is +inf."""
+        cumulative = 0
+        out: List[Tuple[float, int]] = []
+        for bound, count in zip(self._bounds + (float("inf"),), self._counts):
+            cumulative += count
+            out.append((bound, cumulative))
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": {("+inf" if bound == float("inf") else bound): count
+                        for bound, count in self.bucket_counts()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Histogram({self.name!r}, count={self.count}, "
+                f"mean={self.mean:.2f})")
+
+
+class LabeledFamily:
+    """A set of same-named instruments keyed by label values.
+
+    Children are created lazily on first :meth:`labels` access, in a
+    deterministic dict keyed by the label-value tuple, so iteration (and
+    therefore export) order is the order of first observation.
+    """
+
+    def __init__(self, name: str, help: str, label_names: Tuple[str, ...],
+                 child_class) -> None:
+        if not label_names:
+            raise ValueError("a labeled family needs at least one label name")
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._child_class = child_class
+        self._children: Dict[Tuple, object] = {}
+
+    @property
+    def kind(self) -> str:
+        return self._child_class.kind
+
+    def labels(self, **labelvalues):
+        """The child instrument for one label-value combination."""
+        if set(labelvalues) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(labelvalues[name] for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._child_class(self.name, self.help)
+            self._children[key] = child
+        return child
+
+    def items(self) -> List[Tuple[Tuple, object]]:
+        return list(self._children.items())
+
+    def as_dict(self) -> Dict:
+        """Label-value -> value view (single-label keys are unwrapped)."""
+        if len(self.label_names) == 1:
+            return {key[0]: child.value for key, child in self._children.items()}
+        return {key: child.value for key, child in self._children.items()}
+
+    def set_values(self, mapping: Dict) -> None:
+        """Replace the family's children from a plain mapping.
+
+        The thin-view bridge hook (single-label families only): lets code
+        that used to assign a whole dict onto an attribute keep working
+        against the registry-backed view.
+        """
+        if len(self.label_names) != 1:
+            raise ValueError("set_values only supports single-label families")
+        self._children.clear()
+        label = self.label_names[0]
+        for key, value in mapping.items():
+            self.labels(**{label: key})._set(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LabeledFamily({self.name!r}, labels={self.label_names}, "
+                f"children={len(self._children)})")
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """The single export path for every instrument of one run."""
+
+    def __init__(self) -> None:
+        #: name -> instrument or family, in registration order.
+        self._metrics: Dict[str, object] = {}
+        #: name -> (kind, label names) shape recorded at registration.
+        self._shapes: Dict[str, Tuple[str, Tuple[str, ...]]] = {}
+
+    # -- registration ------------------------------------------------------------
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()):
+        return self._register(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()):
+        return self._register(name, "gauge", help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        existing = self._lookup(name, "histogram", ())
+        if existing is not None:
+            return existing
+        metric = Histogram(name, help, buckets=buckets)
+        self._metrics[name] = metric
+        self._shapes[name] = ("histogram", ())
+        return metric
+
+    def _register(self, name: str, kind: str, help: str,
+                  labels: Sequence[str]):
+        label_names = tuple(labels)
+        existing = self._lookup(name, kind, label_names)
+        if existing is not None:
+            return existing
+        child_class = _KINDS[kind]
+        if label_names:
+            metric = LabeledFamily(name, help, label_names, child_class)
+        else:
+            metric = child_class(name, help)
+        self._metrics[name] = metric
+        self._shapes[name] = (kind, label_names)
+        return metric
+
+    def _lookup(self, name: str, kind: str, label_names: Tuple[str, ...]):
+        """The already-registered instrument, or None; shape mismatches raise."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return None
+        shape = self._shapes[name]
+        if shape != (kind, label_names):
+            raise ValueError(
+                f"metric {name!r} is already registered as "
+                f"{shape[0]}{shape[1] or ''}; cannot re-register as "
+                f"{kind}{label_names or ''}"
+            )
+        return metric
+
+    # -- export -----------------------------------------------------------------
+
+    def get(self, name: str):
+        """The instrument (or family) behind ``name``, or None."""
+        return self._metrics.get(name)
+
+    def metrics(self) -> Dict[str, object]:
+        return dict(self._metrics)
+
+    def collect(self) -> List[Tuple[str, Dict[str, object], object]]:
+        """Flat ``(name, labels, value)`` samples across every instrument.
+
+        Histograms expand into ``<name>_count`` / ``<name>_sum`` plus one
+        cumulative ``<name>_bucket`` sample per bound -- the conventional
+        flat representation, so one exporter handles every kind.
+        """
+        samples: List[Tuple[str, Dict[str, object], object]] = []
+        for name, metric in self._metrics.items():
+            if isinstance(metric, LabeledFamily):
+                for key, child in metric.items():
+                    labels = dict(zip(metric.label_names, key))
+                    samples.append((name, labels, child.value))
+            elif isinstance(metric, Histogram):
+                samples.append((f"{name}_count", {}, metric.count))
+                samples.append((f"{name}_sum", {}, metric.sum))
+                for bound, count in metric.bucket_counts():
+                    le = "+inf" if bound == float("inf") else bound
+                    samples.append((f"{name}_bucket", {"le": le}, count))
+            else:
+                samples.append((name, {}, metric.value))
+        return samples
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready snapshot: scalar, per-label dict, or histogram dict."""
+        out: Dict[str, object] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, LabeledFamily):
+                out[name] = metric.as_dict()
+            elif isinstance(metric, Histogram):
+                out[name] = metric.to_dict()
+            else:
+                out[name] = metric.value
+        return out
+
+    def render(self, nonzero_only: bool = True) -> str:
+        """A terminal-friendly ``name{labels} value`` dump, sorted by name."""
+        lines: List[str] = []
+        for name, labels, value in sorted(self.collect(),
+                                          key=lambda s: (s[0], str(s[1]))):
+            if nonzero_only and not value:
+                continue
+            if labels:
+                rendered = ",".join(f"{k}={v}" for k, v in labels.items())
+                lines.append(f"{name}{{{rendered}}} {value}")
+            else:
+                lines.append(f"{name} {value}")
+        return "\n".join(lines)
+
+
+def registry_or_default(registry: Optional[MetricsRegistry]) -> MetricsRegistry:
+    """The given registry, or a fresh private one (stats always have a home)."""
+    return registry if registry is not None else MetricsRegistry()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledFamily",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "registry_or_default",
+]

@@ -1,0 +1,96 @@
+"""The terminal run report: one readable page per simulation run.
+
+``render_run_report`` folds the four telemetry pillars -- registry
+counters, the sampler's time series, trace-span counts, and the pump
+profile -- into the kind of summary you want printed at the end of an
+example or benchmark run.  Everything here formats data that already
+exists; nothing is computed from the live simulation except cheap
+snapshot reads (repair stats, shard counts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def _series_extent(sampler, *path) -> tuple:
+    values = sampler.series(*path)
+    return (max(values), values[-1]) if values else (0, 0)
+
+
+def render_run_report(simulation, telemetry) -> str:
+    """A multi-section terminal report for one simulated run."""
+    lines: List[str] = ["== run report =="]
+    lines.append(simulation.describe())
+
+    stats = simulation.cluster.router.stats
+    lines.append("")
+    lines.append("-- routing --")
+    lines.append(
+        f"arrivals={stats.arrivals} flushed={stats.operations_flushed} "
+        f"batches={stats.batches_flushed} migrations={stats.migrations}"
+    )
+    lines.append(
+        f"reads: primary={stats.primary_reads} follower={stats.follower_reads} "
+        f"quorum={stats.quorum_reads} fallbacks={stats.session_fallbacks} "
+        f"read_repairs={stats.read_repairs} "
+        f"forwarded_writes={stats.forwarded_writes}"
+    )
+
+    repair = simulation.repair
+    lines.append("")
+    lines.append("-- repair --")
+    lines.append(
+        f"tasks={repair.stats.tasks_created} "
+        f"dispatched={repair.stats.dispatched} "
+        f"completed={repair.stats.repairs_completed} "
+        f"retries={repair.stats.retries} gave_up={repair.stats.gave_up} "
+        f"outstanding={repair.outstanding_repairs()}"
+    )
+
+    sampler = getattr(telemetry, "sampler", None)
+    if sampler is not None and sampler.samples:
+        lag_peak, lag_final = _series_extent(sampler, "replication_lag", "max")
+        queue_peak, _ = _series_extent(sampler, "queue_depth", "total")
+        backlog_peak, backlog_final = _series_extent(sampler, "repair",
+                                                     "outstanding")
+        pools = sampler.series("pools_live")
+        lines.append("")
+        lines.append(f"-- time series ({len(sampler.samples)} samples @ "
+                     f"{sampler.interval:g}) --")
+        lines.append(f"replication lag (records): peak={lag_peak} "
+                     f"final={lag_final}")
+        lines.append(f"queue depth (events): peak={queue_peak}")
+        lines.append(f"repair backlog: peak={backlog_peak} "
+                     f"final={backlog_final}")
+        lines.append(f"live pools: min={min(pools)} final={pools[-1]}")
+
+    registry = getattr(telemetry, "registry", None)
+    if registry is not None:
+        rendered = registry.render(nonzero_only=True)
+        if rendered:
+            lines.append("")
+            lines.append("-- metrics --")
+            lines.append(rendered)
+
+    trace = getattr(telemetry, "trace", None)
+    if trace is not None:
+        lines.append("")
+        lines.append("-- trace --")
+        lines.append(
+            f"{len(trace.events)} events, "
+            f"{len(trace.spans('write '))} write spans, "
+            f"{len(trace.spans('read '))} read spans, "
+            f"{len(trace.open_handles())} never closed"
+        )
+
+    profile = getattr(telemetry, "pump_profile", None)
+    if profile is not None and profile.events:
+        lines.append("")
+        lines.append("-- pump profile --")
+        lines.append(profile.render())
+
+    return "\n".join(lines)
+
+
+__all__ = ["render_run_report"]

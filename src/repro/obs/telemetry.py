@@ -1,0 +1,81 @@
+"""The telemetry facade: one object configuring all four pillars.
+
+Construct a :class:`Telemetry`, hand it to
+:class:`~repro.sim.harness.ClusterSimulation` (``telemetry=``), and the
+harness threads it through the cluster:
+
+* the router's :class:`RouterStats` registers its counters on
+  :attr:`registry` instead of a private one;
+* ``trace=True`` attaches a :class:`TraceRecorder` that the router and
+  replica layers emit per-operation spans into;
+* ``sample_interval=<units>`` starts a :class:`ClusterSampler` on the
+  kernel's telemetry probe source;
+* ``profile=True`` enables the kernel's pump profiling hooks.
+
+Every pillar defaults to off except the registry (which costs a few
+dict entries); :meth:`Telemetry.full` turns everything on.  None of the
+pillars perturbs the simulation -- see the module docs of
+:mod:`repro.obs.sampler` and :mod:`repro.sim.kernel` for why runs stay
+byte-identical with telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.report import render_run_report
+from repro.obs.sampler import DEFAULT_INTERVAL, ClusterSampler
+from repro.obs.trace import TraceRecorder
+
+
+class Telemetry:
+    """Configuration + sinks for one simulation's observability."""
+
+    def __init__(self, *, registry: Optional[MetricsRegistry] = None,
+                 trace: bool = False,
+                 sample_interval: Optional[float] = None,
+                 profile: bool = False) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.trace: Optional[TraceRecorder] = \
+            TraceRecorder() if trace else None
+        self.sample_interval = sample_interval
+        self.profile = bool(profile)
+        #: Filled by :meth:`attach`.
+        self.sampler: Optional[ClusterSampler] = None
+        self.pump_profile = None
+
+    @classmethod
+    def full(cls, sample_interval: float = DEFAULT_INTERVAL) -> "Telemetry":
+        """Everything on: registry + sampler + tracer + pump profile."""
+        return cls(trace=True, sample_interval=sample_interval, profile=True)
+
+    def attach(self, simulation) -> None:
+        """Wire the configured pillars to a built simulation.
+
+        Called once by ``ClusterSimulation.__init__`` after the kernel
+        and cluster exist; idempotent pillars (the registry, the trace)
+        were already threaded through construction.
+        """
+        if self.sample_interval is not None and self.sampler is None:
+            self.sampler = ClusterSampler(
+                simulation,
+                interval=self.sample_interval,
+                registry=self.registry,
+                trace=self.trace,
+            )
+            self.sampler.start()
+        if self.profile:
+            self.pump_profile = simulation.kernel.enable_profiling()
+
+    def ensure_sampler_armed(self) -> None:
+        """Re-arm the sampler cadence (harness calls this before pumping)."""
+        if self.sampler is not None:
+            self.sampler.ensure_armed()
+
+    def report(self, simulation) -> str:
+        """The terminal run report for ``simulation``."""
+        return render_run_report(simulation, self)
+
+
+__all__ = ["Telemetry"]

@@ -25,6 +25,7 @@ from repro.sim.kernel import (
     KernelStats,
     SimulatorSource,
     KERNEL_SOURCE,
+    TELEMETRY_SOURCE,
 )
 from repro.sim.scenario import (
     Scenario,
@@ -46,6 +47,7 @@ __all__ = [
     "KernelStats",
     "SimulatorSource",
     "KERNEL_SOURCE",
+    "TELEMETRY_SOURCE",
     "Scenario",
     "ScenarioAction",
     "ScenarioEngine",

@@ -52,10 +52,15 @@ class ClusterSimulation:
                  repair_detection_delay: float = 1.0,
                  repair_slot_jitter: float = 0.0,
                  replication: Optional[ReplicationConfig] = None,
-                 read_policy: Union[str, ReadRoutingPolicy] = "primary") -> None:
+                 read_policy: Union[str, ReadRoutingPolicy] = "primary",
+                 telemetry=None) -> None:
         self.seed = seed
         self.kernel = GlobalScheduler(record_trace=record_trace)
         self.latency_regime = LatencyRegime()
+        #: Optional :class:`repro.obs.Telemetry` bundle.  Purely
+        #: observational: a run with telemetry attached produces the same
+        #: kernel fingerprint and histories as the same seed without it.
+        self.telemetry = telemetry
         self.cluster = ShardedCluster(
             config, pool_names,
             vnodes=vnodes,
@@ -70,6 +75,7 @@ class ClusterSimulation:
             seed=seed,
             replication=replication,
             read_policy=read_policy,
+            telemetry=telemetry,
         )
         self.cluster.attach_kernel(self.kernel)
         if self.cluster.replicas is not None:
@@ -77,6 +83,8 @@ class ClusterSimulation:
             # latency-shift action slows replica serves like protocol
             # traffic.
             self.cluster.replicas.latency_regime = self.latency_regime
+        if telemetry is not None:
+            telemetry.attach(self)
         self.engine = ScenarioEngine(self)
 
     # -- conveniences over the wired parts ---------------------------------------
@@ -169,11 +177,22 @@ class ClusterSimulation:
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
+        if self.telemetry is not None:
+            # Work may have been added since the sampler wound down.
+            self.telemetry.ensure_sampler_armed()
         self.cluster.router.flush()
         self.kernel.run(until=until, max_events=max_events)
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        if self.telemetry is not None:
+            self.telemetry.ensure_sampler_armed()
         self.cluster.run_until_idle(max_events=max_events)
+
+    def run_report(self) -> str:
+        """The telemetry run report (requires a telemetry bundle)."""
+        if self.telemetry is None:
+            raise ValueError("this simulation was built without telemetry")
+        return self.telemetry.report(self)
 
     def history(self, global_clock: bool = True) -> History:
         return self.cluster.history(global_clock=global_clock)

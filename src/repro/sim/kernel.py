@@ -24,6 +24,18 @@ and workload arrivals -- onto **one monotonic global clock**:
 The kernel also maintains a rolling CRC *fingerprint* of the executed
 ``(source, time)`` sequence, giving determinism tests an O(1)-memory
 signature of the entire global event order, and (optionally) a full trace.
+
+Two observability hooks ride on the pump (see :mod:`repro.obs`), both
+designed to leave that fingerprint untouched:
+
+* :meth:`GlobalScheduler.schedule_probe` places observation-only events
+  on a dedicated ``telemetry`` source that executes at its scheduled
+  instant but bypasses the global clock, the stats, the fingerprint and
+  the trace -- so a sampled run is byte-identical to an unsampled one;
+* :meth:`GlobalScheduler.enable_profiling` attributes every executed
+  event to its callback's qualified name (count, simulated-time and
+  wall-time), feeding the flamegraph work; off by default, and the
+  per-event cost when off is a single ``is None`` check.
 """
 
 from __future__ import annotations
@@ -31,12 +43,16 @@ from __future__ import annotations
 import heapq
 import zlib
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.simulator import EventHandle, Simulator
 
 #: Name of the kernel's own event queue (scenario actions, arrivals).
 KERNEL_SOURCE = "kernel"
+
+#: Name of the observation-only probe queue (never fingerprinted).
+TELEMETRY_SOURCE = "telemetry"
 
 
 class SimulatorSource:
@@ -132,6 +148,10 @@ class GlobalScheduler:
         #: Full (global_time, source_name) trace when ``record_trace`` is on.
         self.trace: List[Tuple[float, str]] = []
         self._fingerprint = 0
+        #: Lazily created on the first :meth:`schedule_probe`.
+        self._telemetry_source: Optional[SimulatorSource] = None
+        #: Pump profile (:class:`repro.obs.profile.PumpProfile`) or None.
+        self._profile = None
         # The kernel's own queue carries scenario actions and workload
         # arrivals; registering it first makes kernel events win every tie
         # against shard events at the same global time, so an arrival at t
@@ -212,6 +232,64 @@ class GlobalScheduler:
             raise ValueError("cannot schedule a kernel event in the global past")
         return self.schedule_at(self._now + delay, callback)
 
+    # -- telemetry probes ----------------------------------------------------------
+
+    def schedule_probe(self, time: float, callback) -> EventHandle:
+        """Schedule an observation-only probe at a global time.
+
+        Probes execute on the merged pump -- so a sampler sees cluster
+        state exactly as of its scheduled instant -- but are invisible to
+        the determinism surface: they never advance the global clock, and
+        they are excluded from :attr:`stats`, the fingerprint and the
+        recorded trace.  Not advancing the clock matters beyond cosmetics:
+        a lagging source's clamped head executes *at* the global clock, so
+        a probe that moved the clock would change real event times.
+
+        Probe callbacks must be pure observation (read state, write
+        telemetry sinks); scheduling foreground work from one would break
+        the telemetry-on/off byte-identity the test suite enforces.
+        """
+        if time < self._now:
+            raise ValueError("cannot schedule a probe in the global past")
+        if self._telemetry_source is None:
+            self._telemetry_source = self.register_simulator(
+                Simulator(), name=TELEMETRY_SOURCE, offset=self._now
+            )
+        source = self._telemetry_source
+        return source.simulator.schedule_at(source.to_local(time), callback)
+
+    def pending_work(self) -> bool:
+        """True while any non-telemetry source has a pending event.
+
+        This is what a self-re-arming probe checks before scheduling its
+        next tick; re-arming unconditionally would keep an otherwise
+        drained simulation pumping forever.
+        """
+        return any(
+            source.next_time() is not None
+            for name, source in self._sources.items()
+            if name != TELEMETRY_SOURCE
+        )
+
+    # -- pump profiling ------------------------------------------------------------
+
+    def enable_profiling(self):
+        """Turn on per-event-type pump attribution; returns the profile.
+
+        Idempotent.  The profile never feeds the fingerprint or the clock,
+        so profiled runs stay byte-identical to unprofiled ones.
+        """
+        if self._profile is None:
+            from repro.obs.profile import PumpProfile
+
+            self._profile = PumpProfile()
+        return self._profile
+
+    @property
+    def profile(self):
+        """The active :class:`PumpProfile`, or None when profiling is off."""
+        return self._profile
+
     # -- the event pump -------------------------------------------------------------
 
     def _push_head(self, name: str) -> None:
@@ -291,8 +369,24 @@ class GlobalScheduler:
 
     def _execute(self, head: Tuple[float, str]) -> None:
         time, name = head
+        source = self._sources[name]
+        profile = self._profile
+        if profile is not None:
+            label = profile.label_for(source)
+            wall_started = perf_counter()
+        if name == TELEMETRY_SOURCE:
+            # Observation-only probe: run it, keep its head indexed, and
+            # leave the clock / stats / fingerprint / trace exactly as a
+            # telemetry-free run would have them.
+            source.step()
+            self._push_head(name)
+            if profile is not None:
+                profile.record(name, label, 0.0,
+                               perf_counter() - wall_started)
+            return
+        sim_delta = time - self._now
         self._now = time
-        self._sources[name].step()
+        source.step()
         # The executed source's head moved; its old heap entry is stale
         # (version bump) and the new head gets indexed.  Heads of *other*
         # sources the event scheduled onto were re-indexed synchronously by
@@ -304,6 +398,9 @@ class GlobalScheduler:
         )
         if self.record_trace:
             self.trace.append((time, name))
+        if profile is not None:
+            profile.record(name, label, sim_delta,
+                           perf_counter() - wall_started)
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -346,4 +443,5 @@ class GlobalScheduler:
         return self._fingerprint
 
 
-__all__ = ["GlobalScheduler", "KernelStats", "SimulatorSource", "KERNEL_SOURCE"]
+__all__ = ["GlobalScheduler", "KernelStats", "SimulatorSource",
+           "KERNEL_SOURCE", "TELEMETRY_SOURCE"]

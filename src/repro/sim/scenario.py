@@ -159,6 +159,9 @@ class ScenarioEngine:
             detail = (f"{detail or action.workload.description} "
                       f"({len(action.workload)} ops)")
         self.log.append((now, action.kind, detail))
+        telemetry = getattr(simulation, "telemetry", None)
+        if telemetry is not None and telemetry.trace is not None:
+            telemetry.trace.instant(f"{action.kind}: {detail}", now)
 
 
 # -- shipped scenarios ------------------------------------------------------------

@@ -1,0 +1,98 @@
+"""Unit tests for pump profiling (the attribution sink and kernel hooks)."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.net.simulator import Simulator
+from repro.obs.profile import PumpProfile
+from repro.sim.kernel import GlobalScheduler
+
+
+class TestPumpProfile:
+    def test_record_accumulates_per_source_kind_and_label(self):
+        profile = PumpProfile()
+        profile.record("shard:obj-0", "Replica._apply", 2.0, 0.001)
+        profile.record("shard:obj-1", "Replica._apply", 3.0, 0.002)
+        profile.record("kernel", "Engine._fire", 1.0, 0.004)
+        row_by_key = {(row["source"], row["event_type"]): row
+                      for row in profile.rows()}
+        merged = row_by_key[("shard", "Replica._apply")]
+        assert merged["count"] == 2
+        assert merged["sim_time"] == 5.0
+        assert profile.events == 3
+        assert profile.wall_seconds == 0.007
+
+    def test_rows_sorted_by_wall_time(self):
+        profile = PumpProfile()
+        profile.record("a", "light", 0.0, 0.001)
+        profile.record("b", "heavy", 0.0, 0.010)
+        assert [row["event_type"] for row in profile.rows()] == \
+            ["heavy", "light"]
+
+    def test_collapsed_lines_weighted_by_count(self):
+        profile = PumpProfile()
+        profile.record("shard:x", "Replica._apply", 0.0, 0.0)
+        profile.record("shard:y", "Replica._apply", 0.0, 0.0)
+        assert profile.collapsed() == ["shard;Replica._apply 2"]
+
+    def test_label_for_unwraps_partials_and_handles_idle(self):
+        profile = PumpProfile()
+
+        class FakeSource:
+            def __init__(self, simulator):
+                self.simulator = simulator
+
+        def callback():
+            pass
+
+        simulator = Simulator()
+        simulator.schedule(1.0, functools.partial(callback))
+        source = FakeSource(simulator)
+        assert "callback" in profile.label_for(source)
+
+        empty = FakeSource(Simulator())
+        assert profile.label_for(empty) == "<idle>"
+
+    def test_render_limits_rows(self):
+        profile = PumpProfile()
+        for i in range(15):
+            profile.record("s", f"type-{i}", 0.0, 0.0)
+        rendered = profile.render(limit=3)
+        assert "... 12 more event types" in rendered
+
+
+class TestKernelHooks:
+    def _pump(self, kernel):
+        source = kernel.register_simulator(Simulator(), name="work")
+
+        def tick(n):
+            if n > 0:
+                source.simulator.schedule(5.0, lambda: tick(n - 1))
+
+        source.simulator.schedule(5.0, lambda: tick(3))
+        kernel.run_until_idle()
+
+    def test_enable_profiling_is_idempotent(self):
+        kernel = GlobalScheduler()
+        first = kernel.enable_profiling()
+        second = kernel.enable_profiling()
+        assert first is second
+        assert kernel.profile is first
+
+    def test_profiled_run_keeps_fingerprint(self):
+        bare = GlobalScheduler()
+        self._pump(bare)
+
+        profiled = GlobalScheduler()
+        profile = profiled.enable_profiling()
+        self._pump(profiled)
+
+        assert profiled.fingerprint == bare.fingerprint
+        assert profile.events == profiled.events_processed
+        assert profile.events > 0
+
+    def test_disabled_kernel_has_no_profile(self):
+        kernel = GlobalScheduler()
+        self._pump(kernel)
+        assert kernel.profile is None

@@ -196,6 +196,11 @@ class RepairScheduler:
     # -- execution -------------------------------------------------------------------
 
     def _execute(self, task: RepairTask) -> None:
+        if task.status in (DONE, GAVE_UP):
+            # Terminated between scheduling and execution (e.g. withheld
+            # by an availability drill): the booked slot fires into a task
+            # that no longer exists.
+            return
         shard = self.router.shards.get(task.key)
         if shard is None:  # migrated away since scheduling
             task.status = GAVE_UP
@@ -294,6 +299,35 @@ class RepairScheduler:
     def outstanding_repairs(self) -> int:
         """Repairs queued or scheduled but not finished."""
         return sum(1 for task in self.tasks if task.status in (QUEUED, SCHEDULED))
+
+    def pending_slots(self) -> set:
+        """``(key, l2_index)`` of every slot with a repair still in flight.
+
+        The availability monitor uses this to tell a *protected* hole (a
+        missing fragment the repair pipeline already knows about) from a
+        silent one -- the latter is the alarm condition."""
+        return {(task.key, task.l2_index) for task in self.tasks
+                if task.status in (QUEUED, SCHEDULED)}
+
+    def withhold_node(self, node_id: str) -> List[RepairTask]:
+        """Abandon every unfinished repair for ``node_id`` (fault drill).
+
+        Marks the tasks gave-up immediately -- their booked rate-limiter
+        slots fire into nothing -- modelling a repair pipeline that
+        silently stops serving one failed node.  Used by
+        ``inject_withheld_repair`` to prove the sampling availability
+        monitor notices holes the repair backlog no longer covers."""
+        withheld: List[RepairTask] = []
+        for task in self.tasks:
+            if task.node_id == node_id and task.status in (QUEUED, SCHEDULED):
+                task.status = GAVE_UP
+                self.stats.gave_up += 1
+                withheld.append(task)
+        # Settle the node's outstanding count through the normal finish
+        # path (it will not report recovery: the tasks are not DONE).
+        for task in withheld:
+            self._task_finished(task)
+        return withheld
 
     def reports(self) -> List[Tuple[str, L2RepairReport]]:
         """(key, report) for every completed repair."""

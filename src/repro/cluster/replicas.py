@@ -532,6 +532,13 @@ class ReplicaCoordinator:
         self._results: Dict[str, OperationResult] = {}
         #: Handles of follower reads dispatched but not yet completed.
         self._pending: Set[str] = set()
+        #: Handle -> (key, global invocation time) for every pending read,
+        #: maintained in lockstep with ``_pending``.  The live-audit
+        #: probe's per-key watermark must not pass the invocation time of
+        #: any read that may still complete; reads stranded by a pool
+        #: crash are removed (they never respond, so they constrain
+        #: nothing).
+        self._pending_invocations: Dict[str, Tuple[str, float]] = {}
         #: Handle -> in-flight quorum read state.
         self._quorums: Dict[str, _PendingQuorumRead] = {}
         #: Handles already counted in ``RouterStats.quorum_reads`` whose
@@ -884,6 +891,7 @@ class ReplicaCoordinator:
         if group.status != NORMAL:
             group.deferred_reads.append((handle, reader, dispatch_at, session))
             self._pending.add(handle)
+            self._pending_invocations[handle] = (group.key, dispatch_at)
             stats.failover_deferrals += 1
             if self._trace is not None:
                 self._freeze_started[handle] = dispatch_at
@@ -923,6 +931,7 @@ class ReplicaCoordinator:
         store.reads_in_flight += 1
         group.dispatched[store.pool] = group.dispatched.get(store.pool, 0) + 1
         self._pending.add(handle)
+        self._pending_invocations[handle] = (group.key, at)
         # Routing counters are symmetric with the primary path: both count
         # at dispatch.  A read stranded by a crash mid-flight therefore
         # still counts as *routed* to its replica (see RouterStats).
@@ -959,6 +968,9 @@ class ReplicaCoordinator:
                 op_id=op_id, client_id=client_id, kind=READ,
                 object_id=object_id, invoked_at=invoked_at, session=session,
             ))
+            # Stranded forever: it constrains no future completion, so it
+            # must not pin the live-audit watermark for this key.
+            self._pending_invocations.pop(handle, None)
             if self._trace is not None:
                 self._trace.child_instant(
                     handle, f"store-crashed {store.pool}", "replica", now,
@@ -966,17 +978,20 @@ class ReplicaCoordinator:
                 )
             return
         store.reads_served += 1
-        group.history.add(Operation(
+        operation = Operation(
             op_id=op_id, client_id=client_id, kind=READ, object_id=object_id,
             value=store.value, invoked_at=invoked_at, responded_at=now,
             tag=tag, session=session,
-        ))
+        )
+        group.history.add(operation)
+        self.router.notify_replica_completion(operation)
         result = OperationResult(
             op_id=op_id, client_id=client_id, kind=READ, tag=tag,
             value=store.value, invoked_at=invoked_at, responded_at=now,
         )
         self._results[handle] = result
         self._pending.discard(handle)
+        self._pending_invocations.pop(handle, None)
         self._bump_floor(session, group.key, (epoch, tag))
         self.read_cost += self.config.follower_read_cost
         tracer = self._trace
@@ -1008,6 +1023,7 @@ class ReplicaCoordinator:
             # primary like any other primary-bound read.
             group.deferred_reads.append((handle, reader, dispatch_at, session))
             self._pending.add(handle)
+            self._pending_invocations[handle] = (group.key, dispatch_at)
             stats.failover_deferrals += 1
             if self._trace is not None:
                 self._freeze_started[handle] = dispatch_at
@@ -1023,6 +1039,7 @@ class ReplicaCoordinator:
         )
         self._quorums[handle] = pending
         self._pending.add(handle)
+        self._pending_invocations[handle] = (group.key, dispatch_at)
         now = self._now()
         for pool in pools:
             view = views[pool]
@@ -1102,6 +1119,8 @@ class ReplicaCoordinator:
                 object_id=join_object_id(group.key, group.epoch),
                 invoked_at=pending.invoked_at, session=session,
             ))
+            # Stranded forever: do not pin the live-audit watermark.
+            self._pending_invocations.pop(handle, None)
             if tracer is not None:
                 tracer.child_instant(handle, "quorum-stranded", "replica",
                                      now, args={"depth": depth})
@@ -1129,24 +1148,28 @@ class ReplicaCoordinator:
                     self._freeze_started[handle] = now
                 return
             self._pending.discard(handle)
+            self._pending_invocations.pop(handle, None)
             self._dispatch_primary_read(group, handle, pending.reader, now,
                                         session)
             self.router.flush_key(group.key)
             return
         stats.policy_honored += 1
         epoch, tag = version
-        group.history.add(Operation(
+        operation = Operation(
             op_id=op_id, client_id=client_id, kind=READ,
             object_id=join_object_id(group.key, epoch), value=value,
             invoked_at=pending.invoked_at, responded_at=now, tag=tag,
             session=session,
-        ))
+        )
+        group.history.add(operation)
+        self.router.notify_replica_completion(operation)
         self._results[handle] = OperationResult(
             op_id=op_id, client_id=client_id, kind=READ, tag=tag,
             value=value, invoked_at=pending.invoked_at, responded_at=now,
         )
         self._handle_costs[handle] = depth * self.config.follower_read_cost
         self._pending.discard(handle)
+        self._pending_invocations.pop(handle, None)
         self._bump_floor(session, group.key, version)
         if tracer is not None:
             tracer.end_op(handle, now,
@@ -1309,6 +1332,13 @@ class ReplicaCoordinator:
         """Forwarded writes still travelling follower -> primary."""
         return len(self._forwarding)
 
+    def pending_read_invocations(self) -> List[Tuple[str, float]]:
+        """``(key, global invocation time)`` of every replica read that may
+        still complete -- the replica layer's contribution to the
+        live-audit watermark (reads stranded by a pool crash are already
+        excluded; they never respond)."""
+        return list(self._pending_invocations.values())
+
     @property
     def total_cost(self) -> float:
         """Replication traffic plus follower-read transfer cost."""
@@ -1464,6 +1494,7 @@ class ReplicaCoordinator:
         tracer = self._trace
         for handle, reader, at, session in deferred:
             self._pending.discard(handle)
+            self._pending_invocations.pop(handle, None)
             if tracer is not None:
                 started = self._freeze_started.pop(handle, None)
                 if started is not None:

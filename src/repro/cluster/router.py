@@ -340,6 +340,14 @@ class ObjectRouter:
         #: Callbacks invoked for every newly built shard (the repair
         #: scheduler uses this to cover shards born on degraded pools).
         self.shard_created_hooks: List[Callable[[Shard], None]] = []
+        #: Pure observers of completed operations, fired as
+        #: ``observer(shard, result)`` for primary-shard completions and
+        #: ``observer(None, operation)`` for replica-served reads (the
+        #: latter already in merged global-clock form).  The live-audit
+        #: probe subscribes here; observers must never mutate the
+        #: cluster.  Register before the first shard is built -- shards
+        #: only install the completion hook when a consumer exists.
+        self.operation_observers: List[Callable] = []
         #: The :class:`~repro.obs.telemetry.Telemetry` facade, or None.
         #: Stats always register on its registry when present, so every
         #: router counter exports through the one telemetry path.
@@ -480,18 +488,31 @@ class ObjectRouter:
             encode_cache_size=self.encode_cache_size,
         )
         shard = Shard(key=key, pool=pool, epoch=epoch, system=system)
-        if self._trace is not None:
+        if self._trace is not None or self.operation_observers:
             # Pure observation: close root spans (and record the protocol
-            # phase) when the shard reports an operation complete.
+            # phase) and feed the completion observers when the shard
+            # reports an operation complete.
             system.completion_hooks.append(
-                lambda result, shard=shard: self._trace_completion(shard,
-                                                                   result)
+                lambda result, shard=shard: self._notify_completion(shard,
+                                                                    result)
             )
         # A shard created while some of its pool's nodes are down must start
         # in the degraded state the pool is actually in.
         for node in self.membership.failed_nodes(pool):
             self._crash_slot(shard, node.role, node.index)
         return shard
+
+    def _notify_completion(self, shard: Shard, result: OperationResult) -> None:
+        """Fan one shard completion out to the trace and the observers."""
+        if self._trace is not None:
+            self._trace_completion(shard, result)
+        for observer in self.operation_observers:
+            observer(shard, result)
+
+    def notify_replica_completion(self, operation) -> None:
+        """Feed a replica-served read (already merged-form) to the observers."""
+        for observer in self.operation_observers:
+            observer(None, operation)
 
     def _trace_completion(self, shard: Shard, result: OperationResult) -> None:
         """Record the protocol phase and close the op's root span."""

@@ -17,9 +17,15 @@ it -- on executions produced by the simulator:
   validates per-client monotonic reads / monotonic writes / read-your-
   writes / writes-follow-reads across keys, shards and migration epochs
   over a merged global-clock history.
+* :mod:`repro.consistency.streaming` -- the online equivalent of the
+  session auditor: consumes completions one at a time with
+  watermark-based retention, verdict-identical to the batch check but
+  with memory flat in run length (the live-audit probe's core).
 * :mod:`repro.consistency.injection` -- fault injection that perturbs a
-  history into a violation of each session-guarantee class, proving the
-  auditor detects what it claims to detect.
+  history into a violation of each session-guarantee class (plus
+  cluster-level availability drills: silent under-replication and
+  withheld repairs), proving the auditors detect what they claim to
+  detect.
 """
 
 from repro.consistency.history import History, Operation, OperationRecorder
@@ -39,12 +45,15 @@ from repro.consistency.sessions import (
     SessionViolation,
     check_sessions,
 )
+from repro.consistency.streaming import StreamingSessionAuditor, replay_history
 from repro.consistency.injection import (
     Injection,
     InjectionError,
     inject_all,
     inject_session_violation,
     inject_stale_follower_read,
+    inject_under_replication,
+    inject_withheld_repair,
     is_follower_read,
 )
 
@@ -64,10 +73,14 @@ __all__ = [
     "SessionAuditReport",
     "SessionViolation",
     "check_sessions",
+    "StreamingSessionAuditor",
+    "replay_history",
     "Injection",
     "InjectionError",
     "inject_all",
     "inject_session_violation",
     "inject_stale_follower_read",
+    "inject_under_replication",
+    "inject_withheld_repair",
     "is_follower_read",
 ]

@@ -186,6 +186,10 @@ class OperationRecorder:
     def incomplete_count(self) -> int:
         return len(self._pending)
 
+    def pending_operations(self) -> List[Operation]:
+        """The invoked-but-unresponded operations (invocation-time data only)."""
+        return list(self._pending.values())
+
     def history(self) -> History:
         """Build the history of all operations recorded so far."""
         operations = self._completed + list(self._pending.values())

@@ -299,7 +299,113 @@ def inject_quorum_version_drop(history: History) -> Injection:
     )
 
 
+# -- cluster-level availability drills -------------------------------------------
+#
+# The history injections above prove the *session* auditor fires; the two
+# drills below prove the *availability* monitor fires.  They perturb a
+# live ClusterSimulation (duck-typed: needs ``cluster``, ``repair``,
+# ``membership``, ``kernel``) into the monitor's alarm condition -- an L2
+# fragment that is gone with nobody scheduled to regenerate it.
+
+
+@dataclass(frozen=True)
+class AvailabilityDrill:
+    """One availability fault drill: the fragment holes it opened."""
+
+    kind: str
+    #: The ``(key, l2_index, pool)`` slots now missing without a pending
+    #: repair -- exactly what the sampling monitor must classify SILENT.
+    holes: Tuple[Tuple[str, int, str], ...]
+    #: The failed node, for the withheld-repair drill.
+    node_id: Optional[str] = None
+
+
+def inject_under_replication(simulation, count: int = 1,
+                             l2_index: Optional[int] = None) -> AvailabilityDrill:
+    """Silently crash one L2 slot on ``count`` shards (no membership event).
+
+    This models decay the control plane never saw: the fragment is gone
+    but no failure event fired, so the repair scheduler has no task for
+    it and the membership still believes the node is fine.  Only a probe
+    that actually samples fragment presence --
+    :class:`repro.obs.availability.AvailabilityMonitor` -- can notice.
+    Deterministic: the first ``count`` shard keys in sorted order whose
+    chosen slot is still up.  Raises :class:`InjectionError` when the
+    simulation has fewer than ``count`` eligible shards (run a workload
+    first; shards are created lazily).
+    """
+    if count < 1:
+        raise ValueError("at least one hole is required")
+    router = simulation.cluster.router
+    shards = router._shards
+    index = simulation.config.n2 - 1 if l2_index is None else l2_index
+    holes = []
+    for key in sorted(shards):
+        if len(holes) >= count:
+            break
+        shard = shards[key]
+        if shard.system.l2_servers[index].crashed:
+            continue
+        # Immediate, not scheduled: the decay happened "in the past"
+        # and nothing in the simulation may observe the act itself.
+        shard.system.crash_l2(index)
+        holes.append((key, index, shard.pool))
+    if len(holes) < count:
+        raise InjectionError(
+            f"only {len(holes)} of {count} under-replication site(s) "
+            f"available: the simulation needs that many shards with L2 "
+            f"slot {index} still up (run a workload to create shards first)"
+        )
+    return AvailabilityDrill(kind="under-replication", holes=tuple(holes))
+
+
+def inject_withheld_repair(simulation,
+                           node_id: Optional[str] = None) -> AvailabilityDrill:
+    """Fail a node, then abandon every repair its failure scheduled.
+
+    The repair pipeline's characteristic silent failure: the loss *was*
+    detected and tasks were queued, but the operator (or a bug) withheld
+    them -- ``RepairScheduler.withhold_node`` marks them gave-up -- so
+    the backlog no longer covers the holes and the pool, still alive,
+    explains nothing.  Every affected fragment is therefore SILENT to
+    the availability monitor, which must alarm.  Picks the first (sorted
+    pool, then L2 index) alive node whose pool hosts at least one shard
+    when ``node_id`` is not given; raises :class:`InjectionError` when
+    no failure would schedule any repair (no shards exist yet).
+    """
+    membership = simulation.membership
+    router = simulation.cluster.router
+    when = simulation.kernel.now
+    if node_id is None:
+        pools_with_shards = {shard.pool for shard in router._shards.values()}
+        for pool in sorted(membership.pools):
+            if pool not in pools_with_shards:
+                continue
+            l2_alive = [n for n in membership.pool_nodes(pool, status="alive")
+                        if n.role == "l2"]
+            if l2_alive:
+                node_id = l2_alive[0].node_id
+                break
+        if node_id is None:
+            raise InjectionError(
+                "no eligible withheld-repair site: no pool with live shards "
+                "has an alive L2 node (run a workload to create shards first)"
+            )
+    simulation.cluster.fail_node(node_id, time=when)
+    withheld = simulation.repair.withhold_node(node_id)
+    if not withheld:
+        raise InjectionError(
+            f"failing {node_id!r} scheduled no repairs to withhold: the "
+            "node's pool hosts no shards (run a workload first)"
+        )
+    holes = tuple((task.key, task.l2_index, task.pool)
+                  for task in withheld)
+    return AvailabilityDrill(kind="withheld-repair", holes=holes,
+                             node_id=node_id)
+
+
 __all__ = [
+    "AvailabilityDrill",
     "Injection",
     "InjectionError",
     "QUORUM_CLIENT_MARKER",
@@ -308,6 +414,8 @@ __all__ = [
     "inject_quorum_version_drop",
     "inject_session_violation",
     "inject_stale_follower_read",
+    "inject_under_replication",
+    "inject_withheld_repair",
     "is_follower_read",
     "is_quorum_read",
 ]

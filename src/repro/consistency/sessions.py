@@ -268,20 +268,30 @@ class ClusterAuditReport:
     """The combined post-run correctness verdict of a cluster simulation.
 
     Bundles the per-epoch atomicity check (the paper's guarantee) with the
-    cross-shard session audit (the deployment's guarantee); ``ok`` only
-    when both hold.
+    cross-shard session audit (the deployment's guarantee) and -- when the
+    sampling availability monitor ran -- its durability confidence verdict
+    (duck-typed: anything with ``ok`` and ``describe()``); ``ok`` only
+    when everything holds.
     """
 
     atomicity: Optional[AtomicityViolation]
     sessions: SessionAuditReport
+    #: :class:`~repro.obs.availability.AvailabilityAssessment` when the
+    #: sampling monitor ran, else None.
+    availability: Optional[Any] = None
 
     @property
     def ok(self) -> bool:
-        return self.atomicity is None and self.sessions.ok
+        if self.atomicity is not None or not self.sessions.ok:
+            return False
+        return self.availability is None or self.availability.ok
 
     def describe(self) -> str:
         atomic = "atomic" if self.atomicity is None else f"VIOLATION: {self.atomicity}"
-        return f"ClusterAuditReport({atomic}; {self.sessions.describe()})"
+        parts = f"ClusterAuditReport({atomic}; {self.sessions.describe()}"
+        if self.availability is not None:
+            parts += f"; {self.availability.describe()}"
+        return parts + ")"
 
 
 __all__ = [

@@ -1,0 +1,326 @@
+"""Streaming session-consistency auditing with bounded retention.
+
+:func:`repro.consistency.sessions.check_sessions` replays a *complete*
+merged history after the run: O(total ops) memory and time, which is the
+scaling wall ROADMAP item 4 names -- the larger the run, the more it
+costs to learn whether it was even correct.  This module re-derives the
+same audit as an *online* computation: a :class:`StreamingSessionAuditor`
+consumes completed operations one at a time, keeps the batch auditor's
+running-max witnesses per ``(session, key)`` incrementally, and uses
+**watermarks** to retire per-operation state as soon as no in-flight
+operation can still precede it -- so live memory is proportional to the
+number of *active* (session, key) groups and in-flight operations, flat
+in run length.
+
+Equivalence argument (mirrors the batch sweep in ``check_sessions``):
+
+* An operation ``O`` must be checked against the maximum-version write
+  and read among its group's operations that responded strictly before
+  ``O.invoked_at``.  The auditor checks ``O`` only once the key's
+  watermark has reached ``O.invoked_at``; the watermark contract
+  guarantees every operation responding before it has already been
+  consumed, so all of ``O``'s witnesses are present.
+* Entries that responded before the watermark can never gain *new*
+  successors with earlier thresholds (every future check's threshold is
+  at or above the watermark), so they are **folded** into two settled
+  maxima per group -- exactly the batch sweep's running maxima -- and
+  their per-operation state is dropped.
+* Ties between equal-version witnesses are resolved the way the batch
+  absorption order does: the first in ``(responded_at, op_id)`` order
+  wins (the batch loop only replaces on a strictly greater version).
+
+**Watermark contract.**  ``advance({key: W})`` asserts that (a) every
+operation on ``key`` that responded strictly before ``W`` has been
+``consume``-d, and (b) every operation on ``key`` not yet consumed --
+in flight or not yet invoked -- has ``invoked_at >= W`` *and*
+``responded_at >= W``.  In a kernel-driven cluster the live-audit probe
+derives ``W`` as ``min(kernel.now, in-flight invocations on key)``
+(see :mod:`repro.obs.live_audit`); for an already-recorded history
+:func:`replay_history` derives it from the suffix minima of the
+invocation times.
+
+Violations, counts and witnesses are identical to the batch auditor on
+any complete history (the differential tests in
+``tests/consistency/test_streaming.py`` pin this over every shipped
+scenario and every injection drill); only the *order* of the violations
+list may differ, since groups fire as their watermarks pass rather than
+in sorted-group order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.consistency.history import History, Operation, WRITE
+from repro.consistency.sessions import (
+    SessionAuditReport,
+    SessionViolation,
+    _check_pair,
+    operation_version,
+    split_object_id,
+)
+
+#: A witness candidate: the running-max comparison needs the version, the
+#: operation itself (for the violation report) and its batch absorption
+#: order ``(responded_at, op_id)`` for deterministic tie-breaks.
+_Witness = Tuple[Tuple[int, Any], Operation, Tuple[float, str]]
+
+
+class _GroupState:
+    """Live audit state of one ``(session, key)`` group."""
+
+    __slots__ = ("session", "key", "entries", "unchecked",
+                 "settled_write", "settled_read")
+
+    def __init__(self, session: str, key: str) -> None:
+        self.session = session
+        self.key = key
+        #: Arrived, auditable, not-yet-folded operations:
+        #: ``(responded_at, op_id, kind, version, op)``.
+        self.entries: List[Tuple[float, str, str, Tuple[int, Any], Operation]] = []
+        #: Arrived operations whose own check still waits on the watermark.
+        self.unchecked: List[Operation] = []
+        #: Folded running maxima -- the batch sweep's ``max_write`` /
+        #: ``max_read`` over everything retired so far.
+        self.settled_write: Optional[_Witness] = None
+        self.settled_read: Optional[_Witness] = None
+
+
+class StreamingSessionAuditor:
+    """Online, bounded-memory equivalent of ``check_sessions``.
+
+    Feed completed operations through :meth:`consume` (incomplete or
+    unsessioned operations are counted and skipped with the batch
+    auditor's exact eligibility rules), move the per-key watermarks
+    forward with :meth:`advance`, and read the verdict with
+    :meth:`report`.  ``on_violation`` (if set) fires the moment a
+    violation is detected -- this is the hook the live-audit probe uses
+    to surface violations at sim time.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[Tuple[str, str], _GroupState] = {}
+        #: Groups holding unfolded entries or unchecked operations.
+        self._dirty: Set[Tuple[str, str]] = set()
+        self.violations: List[SessionViolation] = []
+        self.operations_checked = 0
+        self.pairs_checked = 0
+        self.unsessioned_skipped = 0
+        self.unlinearized_skipped = 0
+        #: Fired as ``on_violation(violation, op)`` when a check fails.
+        self.on_violation: Optional[
+            Callable[[SessionViolation, Operation], None]] = None
+        # Retention accounting: the benchmark's "tracked state" is the
+        # per-operation state still held (unfolded entries + pending
+        # checks); the high-water marks show it stays flat in run length.
+        self._entry_count = 0
+        self._unchecked_count = 0
+        self.peak_tracked_entries = 0
+        self.peak_groups = 0
+
+    # -- intake ----------------------------------------------------------------
+
+    def consume(self, op: Operation) -> None:
+        """Feed one operation (same eligibility rules as ``session_groups``)."""
+        if op.session is None:
+            self.unsessioned_skipped += 1
+            return
+        if not op.is_complete or op.tag is None:
+            self.unlinearized_skipped += 1
+            return
+        key, _ = split_object_id(op.object_id)
+        group_key = (op.session, key)
+        group = self._groups.get(group_key)
+        if group is None:
+            group = self._groups[group_key] = _GroupState(op.session, key)
+            self.peak_groups = max(self.peak_groups, len(self._groups))
+        self.operations_checked += 1
+        group.entries.append((op.responded_at, op.op_id, op.kind,
+                              operation_version(op), op))
+        group.unchecked.append(op)
+        self._entry_count += 1
+        self._unchecked_count += 1
+        self._dirty.add(group_key)
+        tracked = self._entry_count + self._unchecked_count
+        if tracked > self.peak_tracked_entries:
+            self.peak_tracked_entries = tracked
+
+    # -- watermark progress -----------------------------------------------------
+
+    def dirty_keys(self) -> Set[str]:
+        """Keys whose groups still hold per-operation state (need watermarks)."""
+        return {key for _, key in self._dirty}
+
+    def advance(self, watermarks: Mapping[str, float]) -> None:
+        """Check and fold everything the given per-key watermarks allow."""
+        for group_key in sorted(self._dirty):
+            watermark = watermarks.get(group_key[1])
+            if watermark is None:
+                continue
+            group = self._groups[group_key]
+            self._advance_group(group, watermark)
+            if not group.entries and not group.unchecked:
+                self._dirty.discard(group_key)
+
+    def finalize(self) -> None:
+        """Check every still-pending operation as if no more could arrive.
+
+        At quiescence (all in-flight operations resolved) this yields
+        exactly the batch verdict on the complete history.  Called
+        mid-run it reflects the completions so far -- operations checked
+        here keep their verdicts even if a straggler completes later.
+        Entries are *not* folded, so later arrivals still meet correct
+        witnesses.
+        """
+        for group_key in sorted(self._dirty):
+            group = self._groups[group_key]
+            if group.unchecked:
+                ready, group.unchecked = group.unchecked, []
+                self._unchecked_count -= len(ready)
+                self._check_ready(group, ready)
+            if not group.entries:
+                self._dirty.discard(group_key)
+
+    def _advance_group(self, group: _GroupState, watermark: float) -> None:
+        # 1. Check operations whose threshold the watermark has passed:
+        #    every witness (responded strictly before invoked_at) has
+        #    arrived, because future arrivals respond at >= watermark.
+        ready = [op for op in group.unchecked if op.invoked_at <= watermark]
+        if ready:
+            group.unchecked = [op for op in group.unchecked
+                               if op.invoked_at > watermark]
+            self._unchecked_count -= len(ready)
+            self._check_ready(group, ready)
+        # 2. Fold entries no future check can distinguish from the maxima:
+        #    every remaining or future threshold is >= watermark.
+        if group.entries:
+            keep = []
+            folding = []
+            for entry in group.entries:
+                (folding if entry[0] < watermark else keep).append(entry)
+            if folding:
+                folding.sort(key=lambda entry: (entry[0], entry[1]))
+                for responded_at, op_id, kind, version, op in folding:
+                    witness = (version, op, (responded_at, op_id))
+                    if kind == WRITE:
+                        if (group.settled_write is None
+                                or version > group.settled_write[0]):
+                            group.settled_write = witness
+                    elif (group.settled_read is None
+                            or version > group.settled_read[0]):
+                        group.settled_read = witness
+                group.entries = keep
+                self._entry_count -= len(folding)
+
+    # -- checking ----------------------------------------------------------------
+
+    def _check_ready(self, group: _GroupState, ready: List[Operation]) -> None:
+        ready.sort(key=lambda op: (op.invoked_at, op.responded_at, op.op_id))
+        for op in ready:
+            self._check(group, op)
+
+    def _check(self, group: _GroupState, op: Operation) -> None:
+        threshold = op.invoked_at
+        best_write = group.settled_write
+        best_read = group.settled_read
+        for responded_at, op_id, kind, version, other in group.entries:
+            if responded_at >= threshold:
+                continue
+            order = (responded_at, op_id)
+            if kind == WRITE:
+                if _improves(best_write, version, order):
+                    best_write = (version, other, order)
+            elif _improves(best_read, version, order):
+                best_read = (version, other, order)
+        op_version = operation_version(op)
+        for witness in (best_write, best_read):
+            if witness is None:
+                continue
+            self.pairs_checked += 1
+            violation = _check_pair(group.session, group.key, witness[1], op,
+                                    witness[0], op_version)
+            if violation is not None:
+                self.violations.append(violation)
+                if self.on_violation is not None:
+                    self.on_violation(violation, op)
+
+    # -- results -----------------------------------------------------------------
+
+    @property
+    def tracked_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def tracked_entries(self) -> int:
+        """Per-operation state currently held (entries + pending checks)."""
+        return self._entry_count + self._unchecked_count
+
+    def report(self, *, extra_unsessioned: int = 0,
+               extra_unlinearized: int = 0) -> SessionAuditReport:
+        """The audit verdict so far, in the batch report's exact shape.
+
+        The extras account for operations the *feed* never delivers --
+        in a live cluster, operations still incomplete at report time
+        (the batch auditor sees them in the merged history and counts
+        them as skips; the completion feed, by construction, does not).
+        """
+        return SessionAuditReport(
+            violations=list(self.violations),
+            sessions_checked=len({session for session, _ in self._groups}),
+            operations_checked=self.operations_checked,
+            pairs_checked=self.pairs_checked,
+            unsessioned_skipped=self.unsessioned_skipped + extra_unsessioned,
+            unlinearized_skipped=self.unlinearized_skipped + extra_unlinearized,
+        )
+
+
+def _improves(current: Optional[_Witness], version: Tuple[int, Any],
+              order: Tuple[float, str]) -> bool:
+    """Batch tie-break: higher version wins; among equals, the first in
+    ``(responded_at, op_id)`` order (the batch loop's absorption order,
+    which only replaces on strictly greater versions)."""
+    if current is None:
+        return True
+    if version != current[0]:
+        return version > current[0]
+    return order < current[2]
+
+
+def replay_history(history: History, *,
+                   auditor: Optional[StreamingSessionAuditor] = None,
+                   advance_every: int = 16) -> StreamingSessionAuditor:
+    """Stream a recorded history through an auditor, watermarks included.
+
+    Completed operations are consumed in ``(responded_at, op_id)`` order
+    -- the order a live kernel run delivers completions -- and after
+    every ``advance_every`` arrivals the per-key watermarks advance to
+    the largest value the contract allows: the minimum of the next
+    response time and the smallest invocation time still ahead (the
+    suffix minimum).  Ends with :meth:`StreamingSessionAuditor.finalize`,
+    so the result equals ``check_sessions(history)`` exactly.
+    """
+    auditor = auditor if auditor is not None else StreamingSessionAuditor()
+    complete: List[Operation] = []
+    for op in history:
+        if op.is_complete:
+            complete.append(op)
+        else:
+            auditor.consume(op)  # counted as a skip, exactly like batch
+    complete.sort(key=lambda op: (op.responded_at, op.op_id))
+    # suffix_min_invoked[i] = min invocation time of complete[i:].
+    suffix_min_invoked = [0.0] * len(complete)
+    running = float("inf")
+    for index in range(len(complete) - 1, -1, -1):
+        running = min(running, complete[index].invoked_at)
+        suffix_min_invoked[index] = running
+    for index, op in enumerate(complete):
+        auditor.consume(op)
+        if (index + 1) % advance_every == 0 and index + 1 < len(complete):
+            watermark = min(complete[index + 1].responded_at,
+                            suffix_min_invoked[index + 1])
+            auditor.advance({key: watermark for key in auditor.dirty_keys()})
+    auditor.finalize()
+    return auditor
+
+
+__all__ = ["StreamingSessionAuditor", "replay_history"]

@@ -10,6 +10,15 @@ The four pillars (see ISSUE/README "Observability"):
   ``trace_event`` JSON (open in Perfetto / ``chrome://tracing``);
 * :mod:`repro.obs.profile` -- per-event-type pump attribution.
 
+Two audit-grade probes build on the same kernel probe source:
+
+* :mod:`repro.obs.live_audit` -- the streaming session auditor run
+  online (``ClusterSimulation(live_audit=True)``), surfacing violations
+  at sim time as registry counters, trace instants and JSONL rows;
+* :mod:`repro.obs.availability` -- sampled L2-fragment presence with
+  per-object confidence bounds, catching silent under-replication in
+  O(samples) instead of O(cluster).
+
 :class:`Telemetry` bundles them for :class:`ClusterSimulation`; the
 governing invariant is that all of it is pure observation -- kernel
 fingerprints and histories are byte-identical with telemetry on or off.
@@ -19,6 +28,12 @@ never import :mod:`repro.sim` or :mod:`repro.cluster`; everything that
 touches a simulation is duck-typed.
 """
 
+from repro.obs.availability import (
+    DEFAULT_AVAILABILITY_INTERVAL,
+    AvailabilityAssessment,
+    AvailabilityMonitor,
+)
+from repro.obs.live_audit import DEFAULT_AUDIT_INTERVAL, LiveAuditProbe
 from repro.obs.profile import PumpProfile
 from repro.obs.registry import (
     DEFAULT_BUCKETS,
@@ -47,4 +62,9 @@ __all__ = [
     "PumpProfile",
     "Telemetry",
     "render_run_report",
+    "AvailabilityAssessment",
+    "AvailabilityMonitor",
+    "DEFAULT_AVAILABILITY_INTERVAL",
+    "DEFAULT_AUDIT_INTERVAL",
+    "LiveAuditProbe",
 ]

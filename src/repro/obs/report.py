@@ -48,6 +48,31 @@ def render_run_report(simulation, telemetry) -> str:
         f"outstanding={repair.outstanding_repairs()}"
     )
 
+    auditor = getattr(telemetry, "auditor", None)
+    availability = getattr(telemetry, "availability", None)
+    if auditor is not None or availability is not None:
+        lines.append("")
+        lines.append("-- audit health --")
+    if auditor is not None:
+        session_report = auditor.report()
+        verdict = ("clean" if session_report.ok
+                   else f"{len(session_report.violations)} VIOLATION(S)")
+        lines.append(
+            f"live session audit: {verdict} "
+            f"(operations={session_report.operations_checked} "
+            f"pairs={session_report.pairs_checked} "
+            f"unsessioned_skipped={session_report.unsessioned_skipped} "
+            f"unlinearized_skipped={session_report.unlinearized_skipped})"
+        )
+        lines.append(
+            f"retention: tracked_entries={auditor.auditor.tracked_entries} "
+            f"peak={auditor.auditor.peak_tracked_entries} "
+            f"groups={auditor.auditor.tracked_groups} "
+            f"peak_groups={auditor.auditor.peak_groups}"
+        )
+    if availability is not None:
+        lines.append(availability.assessment().describe())
+
     sampler = getattr(telemetry, "sampler", None)
     if sampler is not None and sampler.samples:
         lag_peak, lag_final = _series_extent(sampler, "replication_lag", "max")

@@ -53,10 +53,26 @@ class ClusterSimulation:
                  repair_slot_jitter: float = 0.0,
                  replication: Optional[ReplicationConfig] = None,
                  read_policy: Union[str, ReadRoutingPolicy] = "primary",
-                 telemetry=None) -> None:
+                 telemetry=None, live_audit: bool = False) -> None:
         self.seed = seed
         self.kernel = GlobalScheduler(record_trace=record_trace)
         self.latency_regime = LatencyRegime()
+        if live_audit:
+            # Online correctness observability: run the streaming session
+            # auditor and the sampling availability monitor during the
+            # simulation (probe-driven, so fingerprints stay identical;
+            # see repro.obs.live_audit / repro.obs.availability).
+            from repro.obs.availability import DEFAULT_AVAILABILITY_INTERVAL
+            from repro.obs.telemetry import Telemetry
+            if telemetry is None:
+                telemetry = Telemetry(
+                    live_audit=True,
+                    availability_interval=DEFAULT_AVAILABILITY_INTERVAL)
+            else:
+                telemetry.live_audit = True
+                if telemetry.availability_interval is None:
+                    telemetry.availability_interval = \
+                        DEFAULT_AVAILABILITY_INTERVAL
         #: Optional :class:`repro.obs.Telemetry` bundle.  Purely
         #: observational: a run with telemetry attached produces the same
         #: kernel fingerprint and histories as the same seed without it.
@@ -210,10 +226,26 @@ class ClusterSimulation:
         Every shipped scenario is expected to audit clean; see
         :mod:`repro.consistency.injection` for proving the auditor's
         detection power.
+
+        When the simulation ran with ``live_audit=True`` the session
+        verdict is the streaming auditor's final state (finalized here,
+        no batch re-check of the whole history -- the two are
+        verdict-equivalent by construction and by
+        ``tests/consistency/test_streaming.py``), and the report also
+        carries the availability monitor's sampling assessment.
         """
+        telemetry = self.telemetry
+        auditor = getattr(telemetry, "auditor", None)
+        availability = getattr(telemetry, "availability", None)
+        if auditor is not None:
+            sessions = auditor.report()
+        else:
+            sessions = check_sessions(self.history(global_clock=True))
         return ClusterAuditReport(
             atomicity=self.check_atomicity(),
-            sessions=check_sessions(self.history(global_clock=True)),
+            sessions=sessions,
+            availability=(availability.assessment()
+                          if availability is not None else None),
         )
 
     def operation_cost(self, handle: str) -> float:

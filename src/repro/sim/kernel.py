@@ -31,7 +31,11 @@ designed to leave that fingerprint untouched:
 * :meth:`GlobalScheduler.schedule_probe` places observation-only events
   on a dedicated ``telemetry`` source that executes at its scheduled
   instant but bypasses the global clock, the stats, the fingerprint and
-  the trace -- so a sampled run is byte-identical to an unsampled one;
+  the trace -- so a sampled run is byte-identical to an unsampled one.
+  The cluster sampler, the live session auditor
+  (:mod:`repro.obs.live_audit`) and the availability monitor
+  (:mod:`repro.obs.availability`) are all probe families on this
+  source;
 * :meth:`GlobalScheduler.enable_profiling` attributes every executed
   event to its callback's qualified name (count, simulated-time and
   wall-time), feeding the flamegraph work; off by default, and the
@@ -256,7 +260,13 @@ class GlobalScheduler:
                 Simulator(), name=TELEMETRY_SOURCE, offset=self._now
             )
         source = self._telemetry_source
-        return source.simulator.schedule_at(source.to_local(time), callback)
+        # The telemetry source's local clock may legitimately be ahead of
+        # the global clock: final drain ticks run beyond the last
+        # foreground event without advancing ``now``.  A probe re-arming
+        # from global time (e.g. two probe families with different
+        # intervals) must not land in the source's local past.
+        local = max(source.to_local(time), source.simulator.now)
+        return source.simulator.schedule_at(local, callback)
 
     def pending_work(self) -> bool:
         """True while any non-telemetry source has a pending event.

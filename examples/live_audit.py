@@ -39,7 +39,7 @@ POOLS = [f"pool-{i}" for i in range(4)]
 CONFIG = LDSConfig(n1=3, n2=4, f1=1, f2=1)
 
 
-def run_quorum(live_audit: bool) -> ClusterSimulation:
+def run_quorum(live_audit: bool, sanitize: bool = False) -> ClusterSimulation:
     simulation = ClusterSimulation(
         CONFIG, POOLS, seed=SEED,
         writers_per_shard=2, readers_per_shard=2,
@@ -47,6 +47,7 @@ def run_quorum(live_audit: bool) -> ClusterSimulation:
                                       read_quorum=2),
         read_policy="quorum",
         live_audit=live_audit,
+        sanitize=sanitize,
     )
     simulation.ensure_shards(KEYS)
     simulation.apply(quorum_reads_under_lag(KEYS, seed=SEED))
@@ -55,12 +56,26 @@ def run_quorum(live_audit: bool) -> ClusterSimulation:
 
 def check_non_perturbation() -> bool:
     print("1. non-perturbation (quorum-reads-under-lag, seed "
-          f"{SEED}, audit off vs on):")
+          f"{SEED}, audit off vs on vs on+sanitized):")
     bare = run_quorum(live_audit=False)
     live = run_quorum(live_audit=True)
     identical = bare.kernel.fingerprint == live.kernel.fingerprint
     print(f"   kernel fingerprint {bare.kernel.fingerprint:#018x} "
           f"{'==' if identical else '!='} {live.kernel.fingerprint:#018x}")
+
+    # Third leg: the runtime sanitizer checks every event, every probe
+    # and the replica layer's pending maps -- and must neither perturb
+    # the fingerprint nor find anything.
+    sanitized = run_quorum(live_audit=True, sanitize=True)
+    sanitizer = sanitized.kernel.sanitizer
+    sanitized_identical = \
+        sanitized.kernel.fingerprint == bare.kernel.fingerprint
+    identical = identical and sanitized_identical and sanitizer.ok
+    print(f"   sanitized fingerprint "
+          f"{'==' if sanitized_identical else '!='} bare; "
+          f"{sanitizer.events_checked} events and "
+          f"{sanitizer.probes_checked} probes checked, "
+          f"{len(sanitizer.violations)} violation(s)")
 
     batch = check_sessions(live.history(global_clock=True))
     streamed = live.audit().sessions

@@ -213,9 +213,17 @@ class Membership:
         return any(n.status == ALIVE for n in self.pool_nodes(pool))
 
     def failed_nodes(self, pool: Optional[str] = None) -> List[ClusterNode]:
-        """Every currently failed node (optionally restricted to one pool)."""
-        return [n for n in self._nodes.values()
-                if n.status == FAILED and (pool is None or n.pool == pool)]
+        """Every currently failed node (optionally restricted to one pool).
+
+        Ordered by ``(pool, role, index)`` -- the same canonical order as
+        :meth:`pool_nodes` -- rather than by registry insertion order, so
+        downstream consumers (the repair scheduler walks this to build
+        its dispatch queue) never inherit an ordering that depends on the
+        history of join/leave calls.
+        """
+        return sorted((n for n in self._nodes.values()
+                       if n.status == FAILED and (pool is None or n.pool == pool)),
+                      key=lambda n: (n.pool, n.role, n.index))
 
     @property
     def pools(self) -> List[str]:

@@ -1339,6 +1339,20 @@ class ReplicaCoordinator:
         excluded; they never respond)."""
         return list(self._pending_invocations.values())
 
+    def sanitizer_watches(self) -> List[Tuple[str, Dict]]:
+        """In-flight maps whose entries must all drain by idle.
+
+        Each is popped on every completion *and* strand path; an entry
+        surviving to quiescence means some path skipped its cleanup (the
+        bug class where a stranded quorum kept its merge state forever).
+        Consumed by :meth:`KernelSanitizer.watch_map
+        <repro.sim.sanitizer.KernelSanitizer.watch_map>`.
+        """
+        return [
+            ("replicas.pending_invocations", self._pending_invocations),
+            ("replicas.quorums", self._quorums),
+        ]
+
     @property
     def total_cost(self) -> float:
         """Replication traffic plus follower-read transfer cost."""

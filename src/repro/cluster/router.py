@@ -433,13 +433,19 @@ class ObjectRouter:
 
     def shard_now(self, shard: Shard) -> float:
         """The shard's clock on the global timeline (local time in legacy mode)."""
-        return shard.system.simulator.now + self._offset(shard)
+        return shard.system.simulator.now + self._offset(shard)  # simlint: disable=SD03 -- this *is* the sanctioned accessor
 
     def schedule_on_shard(self, shard: Shard, at: float, callback) -> None:
         """Schedule a callback on a shard at global time ``at`` (clamped to
         the shard's clock when ``at`` already passed)."""
         simulator = shard.system.simulator
         local = max(at - self._offset(shard), simulator.now)
+        if local > at - self._offset(shard) and self._kernel is not None:
+            sanitizer = self._kernel.sanitizer
+            if sanitizer is not None:
+                sanitizer.note_clamp(
+                    "shard", f"shard:{shard.object_id}",
+                    requested=at, effective=local + self._offset(shard))
         simulator.schedule_at(local, callback)
 
     # -- shard management -----------------------------------------------------
@@ -759,7 +765,7 @@ class ObjectRouter:
         batch = sorted(shard.pending,
                        key=lambda op: op.at if op.at is not None else -1.0)
         shard.pending = []
-        now = shard.system.simulator.now
+        now = shard.system.simulator.now  # simlint: disable=SD03 -- batch ratchet reads the owned shard's local clock
         # A shard's clock only moves forward.  When a batch's nominal window
         # has already passed (e.g. a fresh workload on a shard that just ran
         # to quiescence), shift the *whole batch* forward uniformly: relative

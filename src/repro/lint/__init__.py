@@ -1,0 +1,65 @@
+"""``repro.lint`` -- determinism & simulation-safety static analysis.
+
+Everything this repository proves -- atomicity of the layered LDS
+protocol, verdict-equivalence of the streaming auditor, non-interference
+of telemetry -- rests on one invariant: *fixed-seed runs are
+byte-identical, always*.  That invariant is easy to break silently: an
+unordered ``set`` iteration that feeds event emission, an unseeded
+``random`` call, a wall-clock read leaking into virtual time, a probe
+that mutates protocol state.  End-to-end fingerprint tests catch such a
+regression only after the fact, and only when a test happens to cross
+the broken path.
+
+This package checks conformance *before* the run: an AST-based analyzer
+(stdlib :mod:`ast`, no dependencies) with a small rule engine, per-rule
+fixtures under ``tests/lint/``, inline suppression pragmas, and a CLI::
+
+    python -m repro.lint            # self-scan src/repro
+    python -m repro.lint src/ path2 # scan explicit paths
+    python -m repro.lint --list-rules
+
+Rules come in two tiers:
+
+* **generic nondeterminism** (``ND01``..``ND05``): unseeded module-level
+  RNG calls, wall-clock reads, unordered ``set`` iteration feeding
+  order-sensitive consumers, ``id()``/``hash()`` in ordering keys,
+  mutable default arguments;
+* **protocol discipline** (``SD01``..``SD03``): observability modules
+  calling mutating cluster APIs, scheduling at literal absolute times
+  not derived from a clock accessor, and raw cross-source simulator
+  clock access outside the sanctioned accessors.
+
+A deliberate exception is annotated in place::
+
+    wall = perf_counter()  # simlint: disable=ND02 -- wall profiling only
+
+The justification after ``--`` is required by convention (the engine
+accepts any text); a pragma without one should not survive review.
+
+The static pass is paired with a *runtime* sanitizer for what static
+analysis cannot see: :meth:`repro.sim.kernel.GlobalScheduler.enable_sanitizer`
+installs per-event invariant checks (clock monotonicity, past-scheduling
+detection, probe write-barriers, end-of-run leak detection).
+"""
+
+from repro.lint.engine import (
+    Finding,
+    LintError,
+    ModuleContext,
+    Rule,
+    all_rules,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "LintError",
+    "ModuleContext",
+    "Rule",
+    "all_rules",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

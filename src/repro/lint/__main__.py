@@ -1,0 +1,80 @@
+"""CLI driver: ``python -m repro.lint [paths...]``.
+
+With no paths the scan targets the installed ``repro`` package tree --
+the self-scan CI runs.  Exit status: 0 clean, 1 findings, 2 usage
+error.  ``--no-pragmas`` reveals suppressed findings (useful to audit
+what the pragmas are hiding); ``--select`` narrows to specific rules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.lint.engine import LintError, all_rules, lint_paths
+
+
+def _default_target() -> str:
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def _list_rules() -> str:
+    lines = ["rule   title", "----   -----"]
+    for rule in all_rules():
+        lines.append(f"{rule.rule_id}   {rule.title}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="determinism & simulation-safety static analysis")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to scan "
+                             "(default: the repro package itself)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run (e.g. ND01,SD03)")
+    parser.add_argument("--no-pragmas", action="store_true",
+                        help="ignore simlint pragmas and report everything")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
+    parser.add_argument("--statistics", action="store_true",
+                        help="append a per-rule findings summary")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = args.paths or [_default_target()]
+    select = None
+    if args.select:
+        select = [r.strip() for r in args.select.split(",") if r.strip()]
+    try:
+        findings = lint_paths(paths, select=select,
+                              respect_pragmas=not args.no_pragmas)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    for finding in findings:
+        print(finding.format())
+    if args.statistics and findings:
+        counts: dict = {}
+        for finding in findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        print("--")
+        for rule_id in sorted(counts):
+            print(f"{rule_id}: {counts[rule_id]}")
+    if findings:
+        print(f"{len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

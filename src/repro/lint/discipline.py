@@ -1,0 +1,177 @@
+"""Tier 2: protocol-discipline rules (SD01..SD03).
+
+These rules know this codebase: which layers own the simulators, which
+APIs mutate protocol state, and which accessors are the sanctioned way
+to touch another source's clock.  They encode three invariants the
+end-to-end suites enforce dynamically (telemetry non-interference,
+fingerprint identity, clamped-head pump order) as cheap static checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.lint.engine import Finding, ModuleContext, Rule, dotted_name
+
+#: Protocol-mutating methods of the router / replica coordinator /
+#: membership / repair scheduler / kernel foreground API.  A module
+#: under ``obs/`` calling any of these on a non-``self`` receiver is
+#: perturbing the simulation it claims to observe.  The observation
+#: surface (``schedule_probe``, ``pending_work``, ``pending_slots``,
+#: registry instruments, ``operation_observers.append``) is not listed,
+#: so the pure-probe pattern passes untouched.
+MUTATING_CALLS = frozenset({
+    # router / cluster front-end
+    "invoke_write", "invoke_read", "add_workload", "flush_key",
+    "ensure_shards", "migrate_shard", "failover_shard",
+    "notify_replica_completion", "schedule_on_shard",
+    # membership transitions
+    "fail", "recover", "fail_pool", "join_pool", "leave_pool",
+    # repair scheduler
+    "schedule_node_repairs", "withhold_node",
+    # replica coordinator
+    "catch_up", "promote", "apply_record",
+    # kernel / simulator foreground scheduling and pumping
+    "schedule", "schedule_at", "run_until_idle", "set_latency_scale",
+})
+
+
+class RuleSD01(Rule):
+    """Observability modules must not mutate protocol state.
+
+    The telemetry-on/off byte-identity gate rests on every probe being
+    pure observation.  This rule flags calls from ``obs/`` modules to
+    known mutating router/replica/membership/repair/kernel APIs on any
+    non-``self`` receiver.  Probe classes that *deliberately* drive
+    sanctioned machinery (none today; the LiveAuditProbe and the
+    RepairScheduler interplay goes through read-only surfaces like
+    ``pending_slots``) annotate the call site with a justified pragma.
+    """
+
+    rule_id = "SD01"
+    title = "obs/ module calls a mutating protocol API"
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        if not ctx.is_obs_module:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in MUTATING_CALLS:
+                continue
+            # A probe driving its own machinery (``self.tick()``) is its
+            # own business; the same method reached through a held
+            # protocol reference (``self.simulation.repair.fail(...)``)
+            # is interference and stays flagged.
+            if dotted_name(func.value) == "self":
+                continue
+            findings.append(ctx.finding(
+                self, node,
+                f"obs/ module calls mutating API .{func.attr}() -- probes "
+                f"must be pure observation (noninterference)"))
+        return findings
+
+
+class RuleSD02(Rule):
+    """Absolute-time scheduling must derive from a clock accessor.
+
+    ``schedule_at`` / ``schedule_probe`` with a *literal* absolute time
+    pins an event to a wall position on the virtual timeline regardless
+    of where the clock actually is -- correct only at t=0 setup, and
+    even there fragile against harness refactors that pre-advance the
+    clock.  Derive the argument from ``kernel.now`` / ``shard_now()``
+    (or use the relative ``schedule(delay, ...)`` form, which this rule
+    deliberately does not flag).
+    """
+
+    rule_id = "SD02"
+    title = "literal absolute time in schedule_at/schedule_probe"
+
+    _ABSOLUTE_SCHEDULERS = ("schedule_at", "schedule_probe")
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = None
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            if name not in self._ABSOLUTE_SCHEDULERS:
+                continue
+            time_arg = None
+            if node.args:
+                time_arg = node.args[0]
+            else:
+                for kw in node.keywords:
+                    if kw.arg == "time":
+                        time_arg = kw.value
+            if isinstance(time_arg, ast.Constant) \
+                    and isinstance(time_arg.value, (int, float)) \
+                    and not isinstance(time_arg.value, bool):
+                findings.append(ctx.finding(
+                    self, node,
+                    f"{name}({time_arg.value!r}, ...) hard-codes an absolute "
+                    f"virtual time; derive it from a clock accessor "
+                    f"(kernel.now / shard_now())"))
+        return findings
+
+
+class RuleSD03(Rule):
+    """Raw cross-source simulator access outside the sanctioned accessors.
+
+    A per-shard simulator's clock is *local*: comparing or scheduling
+    against it from outside without the source's kernel offset breaks
+    the global ordering (the exact bug class the kernel's clamped-head
+    logic and ``schedule_probe``'s past-clamp exist to contain).  Any
+    ``<expr>.simulator.now`` / ``<expr>.simulator.schedule*`` where the
+    receiver is not ``self`` must go through ``router.shard_now()`` /
+    ``router.schedule_on_shard()`` / ``SimulatorSource.to_global``
+    instead.  The simulator-owning layers (``net/``, the kernel and its
+    runtime sanitizer) are out of scope; the accessor implementations
+    themselves carry justified pragmas.
+    """
+
+    rule_id = "SD03"
+    title = "raw cross-source simulator clock access"
+
+    _CLOCK_ATTRS = frozenset({
+        "now", "schedule", "schedule_at", "run", "run_until_idle", "step",
+        "set_head_listener", "set_schedule_guard",
+    })
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        if ctx.is_simulator_layer:
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute) \
+                    or node.attr not in self._CLOCK_ATTRS:
+                continue
+            value = node.value
+            if not isinstance(value, ast.Attribute) \
+                    or value.attr != "simulator":
+                continue
+            owner = value.value
+            if isinstance(owner, ast.Name) and owner.id == "self":
+                continue  # the owner touching its own simulator
+            findings.append(ctx.finding(
+                self, node,
+                f"cross-source access to .simulator.{node.attr}: local "
+                f"clocks are only comparable through the kernel offset; use "
+                f"shard_now()/schedule_on_shard()/to_global()"))
+        return findings
+
+
+DISCIPLINE_RULES = [RuleSD01, RuleSD02, RuleSD03]
+
+__all__ = ["DISCIPLINE_RULES", "MUTATING_CALLS",
+           "RuleSD01", "RuleSD02", "RuleSD03"]

@@ -1,0 +1,390 @@
+"""Tier 1: generic nondeterminism rules (ND01..ND05).
+
+These rules encode the repository's determinism discipline: every
+stochastic choice flows from an explicitly seeded ``random.Random``
+instance, virtual time is the only clock, and nothing order-sensitive
+ever iterates an unordered container.  Each rule documents its exact
+trigger and its known blind spots -- the static pass is a tripwire, not
+a proof; the runtime sanitizer (:mod:`repro.sim.sanitizer`) covers what
+the AST cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.lint.engine import Finding, ModuleContext, Rule, dotted_name
+
+#: ``random`` module-level callables that are fine: seeded-instance
+#: constructors.  Everything else on the module draws from the shared,
+#: implicitly seeded global state.
+_ALLOWED_RANDOM = {"random.Random"}
+
+#: numpy RNG constructors that are deterministic *when given a seed*.
+_SEEDABLE_NUMPY = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.RandomState",
+}
+
+#: Wall-clock reads.  ``perf_counter`` is included deliberately: its
+#: only legitimate use here is wall-time *profiling* that never feeds
+#: simulation state, and such sites carry a justified pragma.
+_WALL_CLOCK = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+#: Set-returning set methods (receiver must itself be a known set).
+_SET_COMBINATORS = {"union", "intersection", "difference",
+                    "symmetric_difference", "copy"}
+
+#: Consumers for which unordered iteration is order-insensitive.
+_ORDER_FREE_CONSUMERS = {"sorted", "len", "sum", "min", "max", "any", "all",
+                         "set", "frozenset"}
+
+#: Annotation heads that mean "this is a set".
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet",
+                    "MutableSet", "typing.Set", "typing.FrozenSet",
+                    "typing.AbstractSet", "typing.MutableSet"}
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    if node is None:
+        return False
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = dotted_name(node)
+    if name is None and isinstance(node, ast.Constant) \
+            and isinstance(node.value, str):
+        # String annotations: take the head before any subscript.
+        name = node.value.split("[")[0].strip()
+    if name is None:
+        return False
+    return name.split(".")[-1] in {n.split(".")[-1] for n in _SET_ANNOTATIONS}
+
+
+class RuleND01(Rule):
+    """Unseeded module-level RNG calls.
+
+    Flags any call into the ``random`` module's global state
+    (``random.random()``, ``random.shuffle`` -- including from-imports)
+    and any ``numpy.random`` module-level call; zero-argument
+    constructions of seedable RNGs (``random.Random()``,
+    ``np.random.default_rng()``) are flagged too.  Seeded instances
+    (``random.Random(seed)``) are the sanctioned pattern.
+    """
+
+    rule_id = "ND01"
+    title = "unseeded global RNG call"
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target is None:
+                continue
+            if target in _ALLOWED_RANDOM or target in _SEEDABLE_NUMPY:
+                if not node.args and not node.keywords:
+                    findings.append(ctx.finding(
+                        self, node,
+                        f"{target}() without a seed is entropy-seeded; pass "
+                        f"an explicit seed"))
+                continue
+            if target.startswith("random.") or target == "random":
+                findings.append(ctx.finding(
+                    self, node,
+                    f"call to {target} draws from the global RNG; use a "
+                    f"seeded random.Random instance"))
+            elif target.startswith("numpy.random."):
+                findings.append(ctx.finding(
+                    self, node,
+                    f"call to {target} draws from numpy's global RNG; use a "
+                    f"seeded Generator"))
+        return findings
+
+
+class RuleND02(Rule):
+    """Wall-clock reads in simulation code.
+
+    Virtual time is the only clock: any ``time.time`` / ``datetime.now``
+    style read makes behaviour depend on the host.  ``perf_counter`` is
+    flagged as well -- wall-time profiling that provably never feeds
+    simulation state is the one sanctioned use, annotated in place with
+    a justified pragma.
+    """
+
+    rule_id = "ND02"
+    title = "wall-clock read"
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_call(node.func)
+            if target in _WALL_CLOCK:
+                findings.append(ctx.finding(
+                    self, node,
+                    f"{target} reads the wall clock; simulation state must "
+                    f"derive from virtual time only"))
+        return findings
+
+
+class _SetTypeIndex(ast.NodeVisitor):
+    """Module-wide index of set-typed attributes and set-returning defs."""
+
+    def __init__(self) -> None:
+        self.set_attrs: Set[str] = set()
+        self.set_funcs: Set[str] = set()
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if _annotation_is_set(node.annotation):
+            target = node.target
+            if isinstance(target, ast.Attribute):
+                self.set_attrs.add(target.attr)
+            elif isinstance(target, ast.Name):
+                self.set_attrs.add(target.id)
+        self.generic_visit(node)
+
+    def _visit_func(self, node) -> None:
+        if _annotation_is_set(node.returns):
+            self.set_funcs.add(node.name)
+        self.generic_visit(node)
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+
+def _walk_scope(body: List[ast.stmt]):
+    """Yield every node of a scope without entering nested def scopes."""
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue  # a separate scope, analysed on its own
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _ScopeSets:
+    """Names assigned set expressions in one scope (conservative).
+
+    A name is treated as a set only when *every* plain assignment to it
+    in the scope is a recognisable set expression -- mixed assignments
+    drop the name rather than risk a false positive.
+    """
+
+    def __init__(self, index: _SetTypeIndex, ctx: ModuleContext) -> None:
+        self.index = index
+        self.ctx = ctx
+        self.names: Set[str] = set()
+
+    def collect(self, body: List[ast.stmt]) -> None:
+        # Two passes so ``x = set(); y = x`` resolves ``y``: the first
+        # pass seeds ``self.names``, the second re-evaluates with it.
+        for _ in range(2):
+            set_assigned: Dict[str, bool] = {}
+            for node in _walk_scope(body):
+                targets: List[ast.expr] = []
+                value: Optional[ast.expr] = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) \
+                        and isinstance(node.target, ast.Name):
+                    if _annotation_is_set(node.annotation):
+                        set_assigned.setdefault(node.target.id, True)
+                    continue
+                if value is None:
+                    continue
+                is_set = self.is_set_expr(value)
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        prior = set_assigned.get(target.id, True)
+                        set_assigned[target.id] = prior and is_set
+            self.names = {name for name, ok in set_assigned.items() if ok}
+
+    def is_set_expr(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.index.set_attrs
+        if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Sub, ast.BitOr, ast.BitAnd, ast.BitXor)):
+            return self.is_set_expr(node.left) or self.is_set_expr(node.right)
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in ("set", "frozenset"):
+                    return True
+                return func.id in self.index.set_funcs
+            if isinstance(func, ast.Attribute):
+                if func.attr in _SET_COMBINATORS \
+                        and self.is_set_expr(func.value):
+                    return True
+                return func.attr in self.index.set_funcs
+        return False
+
+
+class RuleND03(Rule):
+    """Unordered ``set`` iteration feeding order-sensitive consumers.
+
+    Set iteration order is a function of element hashes and insertion
+    history; feeding it into a ``for`` body, a list, or a string join
+    makes event order (and therefore the kernel fingerprint) depend on
+    it.  Flagged sites either wrap the iterable in ``sorted(...)`` or
+    carry a pragma arguing the body is order-insensitive.
+
+    Trigger: ``for`` statements, list comprehensions and
+    ``list()/tuple()/"".join()`` calls whose iterable is a recognisable
+    set expression -- a set display/comprehension, ``set()``/
+    ``frozenset()`` calls, set-operator expressions, names consistently
+    assigned sets in the scope, attributes or local functions annotated
+    set-typed anywhere in the module.  Aggregations that are
+    order-insensitive (``sum``/``min``/``max``/``any``/``all``/``len``/
+    ``sorted``/``set``) are not flagged, and neither are set/generator
+    comprehensions that only feed those.
+    """
+
+    rule_id = "ND03"
+    title = "unordered set iteration"
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        index = _SetTypeIndex()
+        index.visit(ctx.tree)
+        findings: List[Finding] = []
+        self._check_scope(ctx, index, ctx.tree.body, findings)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check_scope(ctx, index, node.body, findings)
+        return findings
+
+    def _check_scope(self, ctx: ModuleContext, index: _SetTypeIndex,
+                     body: List[ast.stmt], findings: List[Finding]) -> None:
+        scope = _ScopeSets(index, ctx)
+        scope.collect(body)
+        for node in _walk_scope(body):
+            if isinstance(node, ast.For) and scope.is_set_expr(node.iter):
+                findings.append(ctx.finding(
+                    self, node.iter,
+                    "iterating a set: order is hash/insertion dependent; "
+                    "wrap in sorted(...) or justify with a pragma"))
+            elif isinstance(node, ast.ListComp):
+                for gen in node.generators:
+                    if scope.is_set_expr(gen.iter):
+                        findings.append(ctx.finding(
+                            self, gen.iter,
+                            "list built by iterating a set inherits "
+                            "nondeterministic order; sort first"))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                name = func.id if isinstance(func, ast.Name) else None
+                if name in ("list", "tuple") and len(node.args) == 1 \
+                        and scope.is_set_expr(node.args[0]):
+                    findings.append(ctx.finding(
+                        self, node,
+                        f"{name}(<set>) materialises nondeterministic "
+                        f"order; use sorted(...)"))
+                elif isinstance(func, ast.Attribute) \
+                        and func.attr == "join" and len(node.args) == 1 \
+                        and scope.is_set_expr(node.args[0]):
+                    findings.append(ctx.finding(
+                        self, node,
+                        "join over a set concatenates in "
+                        "nondeterministic order; sort first"))
+
+
+class RuleND04(Rule):
+    """``id()`` / ``hash()`` inside ordering keys.
+
+    ``id`` is an allocation address and ``hash`` of strings is salted
+    per process (PYTHONHASHSEED): either one inside a ``sorted``/
+    ``min``/``max``/``.sort`` key makes the order vary across runs.
+    """
+
+    rule_id = "ND04"
+    title = "id()/hash() in an ordering key"
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_order_call = (
+                (isinstance(func, ast.Name)
+                 and func.id in ("sorted", "min", "max"))
+                or (isinstance(func, ast.Attribute) and func.attr == "sort")
+            )
+            if not is_order_call:
+                continue
+            for child in node.args + [kw.value for kw in node.keywords]:
+                for inner in ast.walk(child):
+                    if isinstance(inner, ast.Call) \
+                            and isinstance(inner.func, ast.Name) \
+                            and inner.func.id in ("id", "hash"):
+                        findings.append(ctx.finding(
+                            self, inner,
+                            f"{inner.func.id}() in an ordering key varies "
+                            f"across processes/runs; derive a stable key"))
+        return findings
+
+
+class RuleND05(Rule):
+    """Mutable default arguments.
+
+    A ``def f(x=[])`` default is shared across calls: state leaks
+    between invocations in call order, which is exactly the kind of
+    hidden coupling that makes two same-seed runs diverge once any call
+    order changes.  Use ``None`` plus an in-body default.
+    """
+
+    rule_id = "ND05"
+    title = "mutable default argument"
+
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray",
+                      "collections.defaultdict", "collections.OrderedDict",
+                      "defaultdict", "OrderedDict"}
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if isinstance(default, (ast.List, ast.Dict, ast.Set,
+                                        ast.ListComp, ast.DictComp,
+                                        ast.SetComp)):
+                    findings.append(ctx.finding(
+                        self, default,
+                        "mutable default is shared across calls; default to "
+                        "None and build inside the body"))
+                elif isinstance(default, ast.Call):
+                    name = dotted_name(default.func)
+                    if name in self._MUTABLE_CALLS:
+                        findings.append(ctx.finding(
+                            self, default,
+                            f"{name}() default is evaluated once and shared "
+                            f"across calls; default to None"))
+        return findings
+
+
+NONDETERMINISM_RULES = [RuleND01, RuleND02, RuleND03, RuleND04, RuleND05]
+
+__all__ = ["NONDETERMINISM_RULES", "RuleND01", "RuleND02", "RuleND03",
+           "RuleND04", "RuleND05"]

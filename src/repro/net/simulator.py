@@ -54,6 +54,9 @@ class Simulator:
         #: Invoked whenever a newly scheduled event becomes the queue head
         #: (see :meth:`set_head_listener`).
         self._head_listener: Optional[Callable[[], None]] = None
+        #: Invoked with the absolute time of *every* scheduling attempt,
+        #: before validation (see :meth:`set_schedule_guard`).
+        self._schedule_guard: Optional[Callable[[float], None]] = None
 
     def set_head_listener(self, listener: Optional[Callable[[], None]]) -> None:
         """Register a callback fired when scheduling moves the head earlier.
@@ -69,6 +72,19 @@ class Simulator:
         a simulator is ever owned by at most one kernel.
         """
         self._head_listener = listener
+
+    def set_schedule_guard(self, guard: Optional[Callable[[float], None]]) -> None:
+        """Register a callback invoked on every scheduling attempt.
+
+        The guard receives the absolute virtual time *before* the
+        past-check runs, so an external sanitizer (the kernel's runtime
+        sanitizer in :mod:`repro.sim.sanitizer`) can attach source
+        context and raise a structured error where this class would only
+        raise a bare ``ValueError``.  Guards must not schedule events.
+        Only one guard is supported -- a simulator is ever owned by at
+        most one kernel.
+        """
+        self._schedule_guard = guard
 
     @property
     def now(self) -> float:
@@ -93,6 +109,8 @@ class Simulator:
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule ``callback`` at absolute virtual time ``time``."""
+        if self._schedule_guard is not None:
+            self._schedule_guard(time)
         if time < self._now:
             raise ValueError("cannot schedule an event in the past")
         event = _Event(time=time, sequence=next(self._counter), callback=callback)

@@ -17,7 +17,11 @@ actually simulated instead of serialised away:
 * :mod:`repro.sim.harness` -- :class:`ClusterSimulation`, the facade
   wiring a seeded :class:`~repro.cluster.deployment.ShardedCluster` to the
   kernel and exposing workload arrival scheduling, scenario application
-  and the merged global timeline.
+  and the merged global timeline;
+* :mod:`repro.sim.sanitizer` -- :class:`KernelSanitizer`, opt-in runtime
+  invariant checking on the pump (clock monotonicity, local-past
+  scheduling, probe purity, pending-map leaks) with zero fingerprint
+  impact.
 """
 
 from repro.sim.kernel import (
@@ -41,11 +45,19 @@ from repro.sim.scenario import (
     replica_failover_under_load,
 )
 from repro.sim.harness import ClusterSimulation
+from repro.sim.sanitizer import (
+    KernelSanitizer,
+    SanitizerError,
+    SanitizerViolation,
+)
 
 __all__ = [
     "GlobalScheduler",
     "KernelStats",
     "SimulatorSource",
+    "KernelSanitizer",
+    "SanitizerError",
+    "SanitizerViolation",
     "KERNEL_SOURCE",
     "TELEMETRY_SOURCE",
     "Scenario",

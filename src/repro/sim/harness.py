@@ -53,7 +53,8 @@ class ClusterSimulation:
                  repair_slot_jitter: float = 0.0,
                  replication: Optional[ReplicationConfig] = None,
                  read_policy: Union[str, ReadRoutingPolicy] = "primary",
-                 telemetry=None, live_audit: bool = False) -> None:
+                 telemetry=None, live_audit: bool = False,
+                 sanitize: bool = False) -> None:
         self.seed = seed
         self.kernel = GlobalScheduler(record_trace=record_trace)
         self.latency_regime = LatencyRegime()
@@ -101,6 +102,15 @@ class ClusterSimulation:
             self.cluster.replicas.latency_regime = self.latency_regime
         if telemetry is not None:
             telemetry.attach(self)
+        if sanitize:
+            # Runtime invariant checking on the pump (clock monotonicity,
+            # local-past scheduling, probe purity, pending-map leaks).
+            # Purely observational: a sanitized run produces the same
+            # kernel fingerprint as the same seed without it.
+            sanitizer = self.kernel.enable_sanitizer()
+            if self.cluster.replicas is not None:
+                for name, mapping in self.cluster.replicas.sanitizer_watches():
+                    sanitizer.watch_map(name, mapping)
         self.engine = ScenarioEngine(self)
 
     # -- conveniences over the wired parts ---------------------------------------

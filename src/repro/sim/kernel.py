@@ -39,7 +39,12 @@ designed to leave that fingerprint untouched:
 * :meth:`GlobalScheduler.enable_profiling` attributes every executed
   event to its callback's qualified name (count, simulated-time and
   wall-time), feeding the flamegraph work; off by default, and the
-  per-event cost when off is a single ``is None`` check.
+  per-event cost when off is a single ``is None`` check;
+* :meth:`GlobalScheduler.enable_sanitizer` turns on runtime invariant
+  checking (clock monotonicity, no scheduling into a source's local
+  past, probe purity, pending-map leaks -- see
+  :mod:`repro.sim.sanitizer`) with the same off-cost and the same
+  byte-identity guarantee.
 """
 
 from __future__ import annotations
@@ -156,6 +161,10 @@ class GlobalScheduler:
         self._telemetry_source: Optional[SimulatorSource] = None
         #: Pump profile (:class:`repro.obs.profile.PumpProfile`) or None.
         self._profile = None
+        #: Runtime sanitizer (:class:`repro.sim.sanitizer.KernelSanitizer`)
+        #: or None; like the profile, checked with a single ``is None``
+        #: per event when off.
+        self._sanitizer = None
         # The kernel's own queue carries scenario actions and workload
         # arrivals; registering it first makes kernel events win every tie
         # against shard events at the same global time, so an arrival at t
@@ -194,6 +203,8 @@ class GlobalScheduler:
         self._retired_offsets.pop(name, None)
         simulator.set_head_listener(lambda: self._push_head(name))
         self._push_head(name)
+        if self._sanitizer is not None:
+            self._sanitizer.attach_source(source)
         return source
 
     def unregister(self, name: str) -> None:
@@ -206,6 +217,8 @@ class GlobalScheduler:
         """
         source = self._sources.pop(name)
         source.simulator.set_head_listener(None)
+        if self._sanitizer is not None:
+            self._sanitizer.detach_source(source)
         self._heap_versions.pop(name, None)
         self._retired_offsets[name] = source.offset
 
@@ -266,6 +279,10 @@ class GlobalScheduler:
         # from global time (e.g. two probe families with different
         # intervals) must not land in the source's local past.
         local = max(source.to_local(time), source.simulator.now)
+        if self._sanitizer is not None and local > source.to_local(time):
+            self._sanitizer.note_clamp(
+                "probe", TELEMETRY_SOURCE,
+                requested=time, effective=source.to_global(local))
         return source.simulator.schedule_at(local, callback)
 
     def pending_work(self) -> bool:
@@ -299,6 +316,31 @@ class GlobalScheduler:
     def profile(self):
         """The active :class:`PumpProfile`, or None when profiling is off."""
         return self._profile
+
+    # -- runtime sanitizer ---------------------------------------------------------
+
+    def enable_sanitizer(self, strict: bool = True):
+        """Turn on runtime invariant checking; returns the sanitizer.
+
+        Idempotent (``strict`` only applies on first call).  The
+        sanitizer guards clock monotonicity, scheduling into a source's
+        local past, probe purity and end-of-run pending-map leaks (see
+        :mod:`repro.sim.sanitizer`).  It never feeds the fingerprint,
+        the clock or the stats, so a sanitized run stays byte-identical
+        to an unsanitized one.
+        """
+        if self._sanitizer is None:
+            from repro.sim.sanitizer import KernelSanitizer
+
+            self._sanitizer = KernelSanitizer(self, strict=strict)
+            for source in self._sources.values():
+                self._sanitizer.attach_source(source)
+        return self._sanitizer
+
+    @property
+    def sanitizer(self):
+        """The active :class:`KernelSanitizer`, or None when off."""
+        return self._sanitizer
 
     # -- the event pump -------------------------------------------------------------
 
@@ -381,22 +423,32 @@ class GlobalScheduler:
         time, name = head
         source = self._sources[name]
         profile = self._profile
+        sanitizer = self._sanitizer
         if profile is not None:
             label = profile.label_for(source)
-            wall_started = perf_counter()
+            wall_started = perf_counter()  # simlint: disable=ND02 -- wall-clock profiling only; never feeds sim state
         if name == TELEMETRY_SOURCE:
             # Observation-only probe: run it, keep its head indexed, and
             # leave the clock / stats / fingerprint / trace exactly as a
-            # telemetry-free run would have them.
+            # telemetry-free run would have them.  The sanitizer's write
+            # barrier verifies that "exactly" at runtime.
+            if sanitizer is not None:
+                probe_snapshot = sanitizer.before_probe()
             source.step()
             self._push_head(name)
+            if sanitizer is not None:
+                sanitizer.after_probe(probe_snapshot)
             if profile is not None:
                 profile.record(name, label, 0.0,
-                               perf_counter() - wall_started)
+                               perf_counter() - wall_started)  # simlint: disable=ND02 -- wall-clock profiling only; never feeds sim state
             return
+        if sanitizer is not None:
+            sanitizer.before_event(source, time)
         sim_delta = time - self._now
         self._now = time
         source.step()
+        if sanitizer is not None:
+            sanitizer.after_event(source)
         # The executed source's head moved; its old heap entry is stale
         # (version bump) and the new head gets indexed.  Heads of *other*
         # sources the event scheduled onto were re-indexed synchronously by
@@ -410,7 +462,7 @@ class GlobalScheduler:
             self.trace.append((time, name))
         if profile is not None:
             profile.record(name, label, sim_delta,
-                           perf_counter() - wall_started)
+                           perf_counter() - wall_started)  # simlint: disable=ND02 -- wall-clock profiling only; never feeds sim state
 
     def run(self, until: Optional[float] = None,
             max_events: Optional[int] = None) -> None:
@@ -434,7 +486,12 @@ class GlobalScheduler:
             self._now = until
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
-        """Pump until every source is drained; guards against runaways."""
+        """Pump until every source is drained; guards against runaways.
+
+        With the sanitizer enabled, draining to idle also runs its
+        pending-map leak check -- the one invariant that is only
+        meaningful once no event could still perform the cleanup.
+        """
         executed = 0
         while self.step():
             executed += 1
@@ -442,6 +499,8 @@ class GlobalScheduler:
                 raise RuntimeError(
                     "global simulation exceeded the maximum event budget"
                 )
+        if self._sanitizer is not None:
+            self._sanitizer.check_leaks()
 
     @property
     def fingerprint(self) -> int:

@@ -91,3 +91,20 @@ def test_rebalance_plan_is_deterministic_and_minimal():
     assert 0 < len(plan_a) < len(KEYS) // 2
     assert plan_a.keys_moved == sorted(plan_a.keys_moved)
     assert 0.0 < plan_a.moved_fraction(len(KEYS)) < 0.5
+
+
+def test_failed_nodes_come_back_in_canonical_order():
+    """``failed_nodes`` must be ordered by (pool, role, index) -- not by
+    registry insertion order, which depends on join history."""
+    membership = Membership.for_pools(["pool-1", "pool-0"], n1=3, n2=4)
+    # Fail in deliberately scrambled order across pools and roles.
+    for node_id in ["pool-1/l2-3", "pool-0/l2-1", "pool-1/l1-0",
+                    "pool-0/l1-2", "pool-0/l2-0"]:
+        membership.fail(node_id, time=1.0)
+    assert [n.node_id for n in membership.failed_nodes()] == [
+        "pool-0/l1-2", "pool-0/l2-0", "pool-0/l2-1",
+        "pool-1/l1-0", "pool-1/l2-3",
+    ]
+    assert [n.node_id for n in membership.failed_nodes("pool-1")] == [
+        "pool-1/l1-0", "pool-1/l2-3",
+    ]

@@ -1,0 +1,20 @@
+"""ND01 false-positive guards: seeded instances and unimported names."""
+
+import random
+
+import numpy as np
+
+
+class Sampler:
+    def __init__(self, seed):
+        self.rng = random.Random(seed)
+        self.gen = np.random.default_rng(seed)
+
+    def draw(self):
+        return self.rng.random()
+
+
+def not_the_module(rand):
+    # An unimported name never resolves to the random module, however
+    # suggestively its attributes read.
+    return rand.random()

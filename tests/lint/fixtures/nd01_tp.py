@@ -1,0 +1,16 @@
+"""ND01 true positives: unseeded global RNG usage."""
+
+import random
+
+import numpy as np
+from random import shuffle
+
+jitter = random.random()
+unseeded = random.Random()
+noise = np.random.rand(4)
+generator = np.random.default_rng()
+
+
+def scramble(items):
+    shuffle(items)
+    return items

@@ -1,0 +1,9 @@
+"""ND02 true positives: wall-clock reads."""
+
+import datetime
+import time
+from time import perf_counter
+
+started = time.time()
+stamp = datetime.datetime.now()
+tick = perf_counter()

@@ -1,0 +1,15 @@
+"""ND03 false-positive guards: sorted wrappers and order-free consumers."""
+
+pool = {"b", "a"}
+
+for name in sorted(pool):
+    print(name)
+
+count = len(pool)
+biggest = max(pool)
+total = sum(1 for _ in pool)
+copies = list(sorted(pool))
+
+items = [1, 2, 3]
+for item in items:
+    print(item)

@@ -1,0 +1,10 @@
+"""ND03 true positives: order-sensitive iteration over sets."""
+
+pool = {"b", "a"}
+
+for name in pool:
+    print(name)
+
+members = list({"x", "y"})
+ordered = [name for name in pool]
+label = ",".join(pool | {"c"})

@@ -1,0 +1,14 @@
+"""ND04 false-positive guards: stable keys, identity outside ordering."""
+
+
+def order_events(events):
+    return sorted(events, key=lambda e: (e.time, e.seq))
+
+
+def bucket(table, key):
+    # hash() outside an ordering key is not flagged.
+    return table[hash(key) % len(table)]
+
+
+def tag(obj):
+    return id(obj)

@@ -1,0 +1,10 @@
+"""ND04 true positives: identity/hash inside ordering keys."""
+
+
+def order_events(events):
+    return sorted(events, key=lambda e: id(e))
+
+
+def pick(nodes):
+    nodes.sort(key=lambda n: hash(n.name))
+    return min(nodes, key=lambda n: (n.rank, id(n)))

@@ -1,0 +1,16 @@
+"""ND05 false-positive guards: None-defaults and immutable defaults."""
+
+
+def append_to(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def scale(value, factor=1.0, label=""):
+    return value * factor, label
+
+
+def options(flags=()):
+    return tuple(flags)

@@ -1,0 +1,20 @@
+"""ND05 true positives: mutable defaults shared across calls."""
+
+from collections import defaultdict
+
+
+def append_to(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def register(name, *, registry={}):
+    registry[name] = True
+    return registry
+
+
+def index(counts=defaultdict(int)):
+    return counts
+
+
+accumulate = lambda acc={"n": 0}: acc

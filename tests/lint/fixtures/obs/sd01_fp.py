@@ -1,0 +1,23 @@
+"""SD01 false-positive guards: the pure-probe pattern."""
+
+
+class PureProbe:
+    def __init__(self, simulation, kernel):
+        self.simulation = simulation
+        self.kernel = kernel
+        self.samples = []
+
+    def tick(self):
+        # Read-only surfaces and probe re-arming are all fair game.
+        self.samples.append(self.kernel.pending_work())
+        slots = self.simulation.repair.pending_slots()
+        self.samples.append(len(slots))
+        self.kernel.schedule_probe(self.kernel.now + 5.0, self.tick)
+
+    def schedule(self, when):
+        # A mutating-sounding method on ``self`` is the probe's own
+        # machinery, not protocol interference.
+        self.schedule_at(when)
+
+    def schedule_at(self, when):
+        self.samples.append(when)

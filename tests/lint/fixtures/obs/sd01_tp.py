@@ -1,0 +1,11 @@
+"""SD01 true positives: an observability probe perturbing the run."""
+
+
+class MeddlingProbe:
+    def __init__(self, simulation):
+        self.simulation = simulation
+
+    def tick(self):
+        self.simulation.invoke_write("k", b"v")
+        self.simulation.router.flush_key("k")
+        self.simulation.repair.withhold_node("node-0")

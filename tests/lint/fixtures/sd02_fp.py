@@ -1,0 +1,11 @@
+"""SD02 false-positive guards: clock-derived and relative scheduling."""
+
+
+def arm(kernel, interval, tick):
+    kernel.schedule_at(kernel.now + interval, tick)
+    kernel.schedule(5.0, tick)
+    kernel.schedule_probe(kernel.now, tick)
+
+
+def bootstrap(kernel, boot):
+    kernel.schedule_at(0.0, boot)  # simlint: disable=SD02 -- t=0 bootstrap

@@ -1,0 +1,6 @@
+"""SD02 true positives: literal absolute times pinned to the timeline."""
+
+
+def arm(kernel, tick):
+    kernel.schedule_at(120.0, tick)
+    kernel.schedule_probe(time=45.0, callback=tick)

@@ -1,0 +1,18 @@
+"""SD03 false-positive guards: owners and sanctioned accessors."""
+
+
+class ShardOwner:
+    def __init__(self, simulator):
+        self.simulator = simulator
+
+    def local_time(self):
+        # The owner touching its own simulator is in bounds.
+        return self.simulator.now
+
+
+def global_time(router, shard):
+    return router.shard_now(shard)
+
+
+def arm(router, shard, at, tick):
+    router.schedule_on_shard(shard, at, tick)

@@ -1,0 +1,10 @@
+"""SD03 true positives: raw cross-source simulator clock access."""
+
+
+def drain(shard):
+    shard.system.simulator.run_until_idle()
+    return shard.system.simulator.now
+
+
+def race(other, tick):
+    other.simulator.schedule_at(other.simulator.now + 1.0, tick)

@@ -1,0 +1,115 @@
+"""Engine-level tests: pragmas, diagnostics, selection, traversal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.engine import (
+    SYNTAX_ERROR,
+    UNKNOWN_PRAGMA_RULE,
+    LintError,
+    all_rules,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+)
+
+UNSEEDED = "import random\nvalue = random.random()\n"
+
+
+class TestPragmas:
+    def test_line_pragma_suppresses_the_named_rule(self):
+        source = ("import random\n"
+                  "value = random.random()"
+                  "  # simlint: disable=ND01 -- calibration only\n")
+        assert lint_source(source) == []
+
+    def test_line_pragma_only_covers_its_own_line(self):
+        source = ("import random\n"
+                  "a = random.random()  # simlint: disable=ND01 -- here\n"
+                  "b = random.random()\n")
+        findings = lint_source(source)
+        assert [(f.rule, f.line) for f in findings] == [("ND01", 3)]
+
+    def test_line_pragma_does_not_cover_other_rules(self):
+        source = ("import random\n"
+                  "value = random.random()  # simlint: disable=ND02 -- wrong\n")
+        assert [f.rule for f in lint_source(source)] == ["ND01"]
+
+    def test_file_pragma_suppresses_module_wide(self):
+        source = ("# simlint: disable-file=ND01 -- calibration module\n"
+                  "import random\n"
+                  "a = random.random()\n"
+                  "b = random.random()\n")
+        assert lint_source(source) == []
+
+    def test_no_pragmas_mode_reveals_suppressed_findings(self):
+        source = ("import random\n"
+                  "value = random.random()"
+                  "  # simlint: disable=ND01 -- hidden\n")
+        findings = lint_source(source, respect_pragmas=False)
+        assert [f.rule for f in findings] == ["ND01"]
+
+    def test_unknown_rule_in_pragma_is_reported(self):
+        source = "x = 1  # simlint: disable=ND99 -- typo\n"
+        findings = lint_source(source)
+        assert [f.rule for f in findings] == [UNKNOWN_PRAGMA_RULE]
+        assert "ND99" in findings[0].message
+
+    def test_multi_rule_pragma(self):
+        source = ("import random\n"
+                  "from time import time\n"
+                  "value = random.random() + time()"
+                  "  # simlint: disable=ND01,ND02 -- drill\n")
+        assert lint_source(source) == []
+
+
+class TestDiagnostics:
+    def test_syntax_error_becomes_a_finding(self):
+        findings = lint_source("def broken(:\n")
+        assert [f.rule for f in findings] == [SYNTAX_ERROR]
+
+    def test_findings_carry_location_and_format(self):
+        findings = lint_source(UNSEEDED, path="pkg/mod.py")
+        assert len(findings) == 1
+        finding = findings[0]
+        assert finding.path == "pkg/mod.py"
+        assert finding.line == 2
+        assert finding.format().startswith("pkg/mod.py:2:")
+        assert "ND01" in finding.format()
+
+
+class TestSelection:
+    def test_select_narrows_to_named_rules(self):
+        source = ("import random\n"
+                  "from time import time\n"
+                  "value = random.random() + time()\n")
+        assert {f.rule for f in lint_source(source)} == {"ND01", "ND02"}
+        assert {f.rule for f in lint_source(source, select=["ND02"])} \
+            == {"ND02"}
+
+    def test_unknown_selection_is_an_error(self):
+        with pytest.raises(LintError):
+            lint_source("x = 1\n", select=["ND99"])
+
+    def test_rule_ids_are_unique_and_stable(self):
+        ids = [rule.rule_id for rule in all_rules()]
+        assert len(ids) == len(set(ids))
+        assert ids == sorted(ids)  # ND tier first, then SD
+
+
+class TestTraversal:
+    def test_directory_scan_collects_sorted_python_files(self, tmp_path):
+        (tmp_path / "b.py").write_text(UNSEEDED)
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "c.py").write_text(UNSEEDED)
+        (tmp_path / "notes.txt").write_text("not python")
+        files = iter_python_files([str(tmp_path)])
+        assert [f.rsplit("/", 1)[-1] for f in files] == ["a.py", "b.py"]
+        findings = lint_paths([str(tmp_path)])
+        assert [f.rule for f in findings] == ["ND01"]
+
+    def test_missing_path_is_an_error(self):
+        with pytest.raises(LintError):
+            lint_paths(["/no/such/path-for-simlint"])

@@ -1,0 +1,47 @@
+"""The self-scan gate: the repo's own source must lint clean.
+
+Shells out to ``python -m repro.lint`` exactly as CI does, so the CLI
+surface (argument parsing, exit codes, default target) is covered too.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _run(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT)
+
+
+def test_self_scan_is_clean():
+    result = _run(os.path.join(SRC, "repro"))
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_list_rules_names_every_shipped_rule():
+    result = _run("--list-rules")
+    assert result.returncode == 0
+    for rule_id in ("ND01", "ND02", "ND03", "ND04", "ND05",
+                    "SD01", "SD02", "SD03"):
+        assert rule_id in result.stdout
+
+
+def test_findings_set_a_nonzero_exit(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\nvalue = random.random()\n")
+    result = _run(str(bad))
+    assert result.returncode == 1
+    assert "ND01" in result.stdout
+
+    result = _run(str(tmp_path / "missing.py"))
+    assert result.returncode == 2

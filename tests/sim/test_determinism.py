@@ -72,6 +72,32 @@ class TestGlobalDeterminism:
         second = _run(seed=2)
         assert first.kernel.fingerprint != second.kernel.fingerprint
 
+    def test_multi_failure_repair_dispatch_is_fingerprint_stable(self):
+        """Repair dispatch over several simultaneously failed nodes walks
+        ``Membership.failed_nodes`` (now canonically ordered) and the
+        scheduler's slot pool; a fixed seed must replay the identical
+        merged event order even with jittered slots and correlated
+        failures in flight."""
+        def run():
+            config = LDSConfig(n1=3, n2=4, f1=1, f2=1)
+            simulation = ClusterSimulation(
+                config, POOLS, seed=13, record_trace=True,
+                repair_min_interval=6.0, repair_max_concurrent=2,
+                repair_slot_jitter=4.0,
+            )
+            from repro.sim import correlated_pool_failure
+            simulation.apply(correlated_pool_failure(
+                KEYS, "pool-0", seed=13, operations=60, duration=400.0,
+                fail_at=80.0, stagger=5.0))
+            return simulation
+
+        first, second = run(), run()
+        assert first.kernel.fingerprint == second.kernel.fingerprint
+        assert first.kernel.trace == second.kernel.trace
+        assert [(t.key, t.scheduled_at, t.status) for t in first.repair.tasks] \
+            == [(t.key, t.scheduled_at, t.status) for t in second.repair.tasks]
+        assert first.repair.tasks  # repairs actually ran
+
     def test_unseeded_cluster_repair_jitter_is_not_secretly_seeded(self):
         """seed=None must yield a genuinely unseeded jitter RNG, not the
         fixed sequence of derive_seed(None, 'repair')."""

@@ -867,6 +867,11 @@ class ReplicaCoordinator:
                 # The follower has not caught up to what this session
                 # already observed.
                 stats.session_fallbacks += 1
+                if self._trace is not None:
+                    self._trace.child_instant(handle, "session-fallback",
+                                              "read", dispatch_at,
+                                              args={"pool": routed,
+                                                    "floor": floor})
                 store = None
             else:
                 break  # a serviceable follower

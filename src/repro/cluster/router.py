@@ -352,7 +352,9 @@ class ObjectRouter:
         #: Stats always register on its registry when present, so every
         #: router counter exports through the one telemetry path.
         self.telemetry = telemetry
-        self._trace = telemetry.trace if telemetry is not None else None
+        #: The span sink: the trace recorder, the latency tracker, or a
+        #: fanout over both -- all present the same four-method surface.
+        self._trace = telemetry.op_sink() if telemetry is not None else None
         self.stats = RouterStats(
             registry=telemetry.registry if telemetry is not None else None
         )

@@ -19,6 +19,18 @@ Two audit-grade probes build on the same kernel probe source:
   per-object confidence bounds, catching silent under-replication in
   O(samples) instead of O(cluster).
 
+Tail-latency observability builds on the span stream (see README
+"Tail latency & SLOs"):
+
+* :mod:`repro.obs.latency` -- mergeable :class:`QuantileSketch`
+  instruments plus the :class:`LatencyTracker` decomposing every
+  completed op into the phase taxonomy;
+* :mod:`repro.obs.critical_path` -- pure-function critical-path
+  extraction and "ops in the p99+ band spend X% in phase Y"
+  attribution, live or from a recorded trace;
+* :mod:`repro.obs.slo` -- per-op-class latency/availability targets
+  with error-budget accounting and burn-rate probes.
+
 :class:`Telemetry` bundles them for :class:`ClusterSimulation`; the
 governing invariant is that all of it is pure observation -- kernel
 fingerprints and histories are byte-identical with telemetry on or off.
@@ -33,6 +45,19 @@ from repro.obs.availability import (
     AvailabilityAssessment,
     AvailabilityMonitor,
 )
+from repro.obs.critical_path import (
+    OP_CLASSES,
+    PHASES,
+    TracedOp,
+    critical_path,
+    extract_ops,
+)
+from repro.obs.latency import (
+    DEFAULT_RELATIVE_ERROR,
+    LatencyTracker,
+    QuantileSketch,
+    SpanSinkFanout,
+)
 from repro.obs.live_audit import DEFAULT_AUDIT_INTERVAL, LiveAuditProbe
 from repro.obs.profile import PumpProfile
 from repro.obs.registry import (
@@ -45,6 +70,12 @@ from repro.obs.registry import (
 )
 from repro.obs.report import render_run_report
 from repro.obs.sampler import DEFAULT_INTERVAL, ClusterSampler
+from repro.obs.slo import (
+    DEFAULT_SLO_INTERVAL,
+    SLO,
+    SLOTracker,
+    default_slos,
+)
 from repro.obs.telemetry import Telemetry
 from repro.obs.trace import TS_SCALE, TraceRecorder
 
@@ -67,4 +98,17 @@ __all__ = [
     "DEFAULT_AVAILABILITY_INTERVAL",
     "DEFAULT_AUDIT_INTERVAL",
     "LiveAuditProbe",
+    "DEFAULT_RELATIVE_ERROR",
+    "DEFAULT_SLO_INTERVAL",
+    "LatencyTracker",
+    "OP_CLASSES",
+    "PHASES",
+    "QuantileSketch",
+    "SLO",
+    "SLOTracker",
+    "SpanSinkFanout",
+    "TracedOp",
+    "critical_path",
+    "default_slos",
+    "extract_ops",
 ]

@@ -16,7 +16,20 @@ The statistical claim is per object: a uniform sample of that object's
 ``n2`` fragment slots hits any one silently-missing slot with
 probability at least ``1/n2``, so after ``s`` samples of the object the
 monitor has detected a silent hole (if one exists) with probability at
-least ``1 - (1 - 1/n2)^s``.  :meth:`assessment` reports that bound per
+least ``1 - (1 - 1/n2)^s``.
+
+Sampling is additionally *weighted by repair-backlog age*: every slot
+the repair scheduler has ever reported pending joins a watchlist
+stamped with the epoch it was first seen, and each epoch spends up to
+``backlog_priority`` of its sample budget probing the **oldest**
+watchlist entries before drawing the rest uniformly.  A slot stays
+watched until it is observed present again -- so a repair that is
+withheld or gives up (leaving the backlog without fixing the hole)
+keeps getting probed directly instead of waiting for a lucky uniform
+draw, and the oldest holes are detected first.  The per-epoch budget is
+unchanged and the uniform draws use the same RNG stream, so with an
+empty backlog the monitor behaves identically to pure uniform
+sampling.  :meth:`assessment` reports that bound per
 object and its minimum across objects -- the confidence that *every*
 object still has its full complement of fragments standing between it
 and ``f2`` further failures.  O(samples) per epoch, flat in cluster
@@ -33,7 +46,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry
 
@@ -42,6 +55,9 @@ DEFAULT_AVAILABILITY_INTERVAL = 50.0
 
 #: Default samples per epoch.
 DEFAULT_SAMPLES_PER_EPOCH = 8
+
+#: Default per-epoch budget reserved for the oldest backlog slots.
+DEFAULT_BACKLOG_PRIORITY = 2
 
 #: Sample classifications.
 PRESENT = "present"
@@ -93,6 +109,7 @@ class AvailabilityMonitor:
     def __init__(self, simulation, *,
                  interval: float = DEFAULT_AVAILABILITY_INTERVAL,
                  samples_per_epoch: int = DEFAULT_SAMPLES_PER_EPOCH,
+                 backlog_priority: int = DEFAULT_BACKLOG_PRIORITY,
                  seed: int = 0,
                  registry: Optional[MetricsRegistry] = None,
                  trace=None) -> None:
@@ -100,9 +117,16 @@ class AvailabilityMonitor:
             raise ValueError("the sampling interval must be positive")
         if samples_per_epoch < 1:
             raise ValueError("at least one sample per epoch is required")
+        if backlog_priority < 0:
+            raise ValueError("backlog_priority cannot be negative")
         self.simulation = simulation
         self.interval = float(interval)
         self.samples_per_epoch = int(samples_per_epoch)
+        self.backlog_priority = int(backlog_priority)
+        #: (key, l2_index) -> virtual time the slot was first seen in the
+        #: repair backlog.  Entries persist until observed present, so
+        #: withheld/given-up repairs stay probed (oldest first).
+        self._watchlist: Dict[Tuple[str, int], float] = {}
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace = trace
         #: Probe-only RNG: seeded for reproducibility, never shared with
@@ -176,8 +200,33 @@ class AvailabilityMonitor:
         membership = simulation.membership
         pool_alive = {pool: membership.pool_alive(pool)
                       for pool in membership.pools}
+        for slot in sorted(pending):
+            if slot not in self._watchlist:
+                self._watchlist[slot] = at
         outcomes: List[str] = []
-        for _ in range(self.samples_per_epoch):
+        # Age-weighted pass: spend up to ``backlog_priority`` of the
+        # budget on the oldest watched slots before drawing uniformly.
+        targeted_budget = min(self.backlog_priority, self.samples_per_epoch)
+        if self._watchlist and targeted_budget:
+            ordered = sorted(self._watchlist.items(),
+                             key=lambda item: (item[1], item[0]))
+            for (key, index), _first_seen in ordered:
+                if len(outcomes) >= targeted_budget:
+                    break
+                shard = shards.get(key)
+                if shard is None or index >= len(shard.system.l2_servers):
+                    # The shard migrated or shrank: nothing left to watch.
+                    del self._watchlist[(key, index)]
+                    continue
+                outcome = self._classify(key, shard, index, pending,
+                                         pool_alive, at)
+                outcomes.append(outcome)
+                self.samples_taken += 1
+                self.samples_by_object[key] = \
+                    self.samples_by_object.get(key, 0) + 1
+                if outcome == PRESENT:
+                    del self._watchlist[(key, index)]
+        for _ in range(self.samples_per_epoch - len(outcomes)):
             key = keys[self._rng.randrange(len(keys))]
             shard = shards[key]
             servers = shard.system.l2_servers
@@ -244,6 +293,7 @@ __all__ = [
     "AvailabilityAssessment",
     "AvailabilityMonitor",
     "DEFAULT_AVAILABILITY_INTERVAL",
+    "DEFAULT_BACKLOG_PRIORITY",
     "DEFAULT_SAMPLES_PER_EPOCH",
     "PRESENT",
     "PROTECTED",

@@ -271,6 +271,30 @@ class MetricsRegistry:
         self._shapes[name] = ("histogram", ())
         return metric
 
+    def quantile_sketch(self, name: str, help: str = "",
+                        labels: Sequence[str] = (),
+                        relative_error: Optional[float] = None):
+        """A mergeable log-bucketed quantile sketch (p50/p90/p99/p999
+        within a bounded relative error) -- see
+        :class:`repro.obs.latency.QuantileSketch`."""
+        # Imported lazily: latency.py builds on this registry.
+        from repro.obs.latency import (DEFAULT_RELATIVE_ERROR, QuantileSketch,
+                                       SketchFactory)
+        if relative_error is None:
+            relative_error = DEFAULT_RELATIVE_ERROR
+        label_names = tuple(labels)
+        existing = self._lookup(name, "sketch", label_names)
+        if existing is not None:
+            return existing
+        if label_names:
+            metric = LabeledFamily(name, help, label_names,
+                                   SketchFactory(relative_error))
+        else:
+            metric = QuantileSketch(name, help, relative_error=relative_error)
+        self._metrics[name] = metric
+        self._shapes[name] = ("sketch", label_names)
+        return metric
+
     def _register(self, name: str, kind: str, help: str,
                   labels: Sequence[str]):
         label_names = tuple(labels)
@@ -313,15 +337,23 @@ class MetricsRegistry:
         """Flat ``(name, labels, value)`` samples across every instrument.
 
         Histograms expand into ``<name>_count`` / ``<name>_sum`` plus one
-        cumulative ``<name>_bucket`` sample per bound -- the conventional
-        flat representation, so one exporter handles every kind.
+        cumulative ``<name>_bucket`` sample per bound; quantile sketches
+        into ``<name>_count`` plus one ``<name>_p50/..p999`` sample each
+        -- the conventional flat representation, so one exporter handles
+        every kind.
         """
         samples: List[Tuple[str, Dict[str, object], object]] = []
         for name, metric in self._metrics.items():
+            sketch_kind = self._shapes[name][0] == "sketch"
             if isinstance(metric, LabeledFamily):
                 for key, child in metric.items():
                     labels = dict(zip(metric.label_names, key))
-                    samples.append((name, labels, child.value))
+                    if sketch_kind:
+                        samples.extend(_sketch_samples(name, labels, child))
+                    else:
+                        samples.append((name, labels, child.value))
+            elif sketch_kind:
+                samples.extend(_sketch_samples(name, {}, metric))
             elif isinstance(metric, Histogram):
                 samples.append((f"{name}_count", {}, metric.count))
                 samples.append((f"{name}_sum", {}, metric.sum))
@@ -357,6 +389,16 @@ class MetricsRegistry:
             else:
                 lines.append(f"{name} {value}")
         return "\n".join(lines)
+
+
+def _sketch_samples(name: str, labels: Dict[str, object], sketch
+                    ) -> List[Tuple[str, Dict[str, object], object]]:
+    """Flat samples for one quantile sketch (count + each percentile)."""
+    samples = [(f"{name}_count", dict(labels), sketch.count)]
+    for quantile_name in ("p50", "p90", "p99", "p999"):
+        samples.append((f"{name}_{quantile_name}", dict(labels),
+                        getattr(sketch, quantile_name)))
+    return samples
 
 
 def registry_or_default(registry: Optional[MetricsRegistry]) -> MetricsRegistry:

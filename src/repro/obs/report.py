@@ -73,6 +73,60 @@ def render_run_report(simulation, telemetry) -> str:
     if availability is not None:
         lines.append(availability.assessment().describe())
 
+    latency = getattr(telemetry, "latency", None)
+    if latency is not None and latency.records:
+        lines.append("")
+        lines.append(f"-- latency ({len(latency.records)} ops) --")
+        for op_class in latency.classes():
+            sketch = latency.sketch(op_class)
+            lines.append(
+                f"{op_class}: n={sketch.count} p50={sketch.p50:.1f} "
+                f"p90={sketch.p90:.1f} p99={sketch.p99:.1f} "
+                f"p999={sketch.p999:.1f} max={sketch.maximum:.1f}"
+            )
+            for attribution in latency.band_attributions(op_class):
+                if not attribution.ops:
+                    continue
+                top = ", ".join(
+                    f"{phase} {fraction * 100:.0f}%"
+                    for phase, fraction in
+                    list(attribution.fractions.items())[:3]
+                )
+                lines.append(f"  {attribution.band}: "
+                             f"ops={attribution.ops} {top}")
+        if latency.stranded:
+            lines.append(f"stranded (never completed): {latency.stranded}")
+        apply_sketch = latency.replication_apply
+        if apply_sketch.count:
+            lines.append(
+                f"replication apply (post-ack): n={apply_sketch.count} "
+                f"p50={apply_sketch.p50:.1f} p99={apply_sketch.p99:.1f}"
+            )
+
+    slo = getattr(telemetry, "slo", None)
+    if slo is not None:
+        statuses = slo.snapshot()
+        if statuses:
+            lines.append("")
+            lines.append("-- slo --")
+            for op_class, status in statuses.items():
+                verdict = "ok" if status.met else "BLOWN"
+                lines.append(
+                    f"{op_class}: target p{status.target_fraction * 100:g}"
+                    f"<={status.latency_target:g} ops={status.ops} "
+                    f"breaches={status.breaches} "
+                    f"budget={status.budget_consumed * 100:.0f}% "
+                    f"burn={status.burn_rate:.2f}x [{verdict}]"
+                )
+            for kind, row in slo.availability().items():
+                if row["invoked"]:
+                    lines.append(
+                        f"availability {kind}: {row['completed']}/"
+                        f"{row['invoked']} ({row['fraction'] * 100:.2f}% vs "
+                        f"{row['target'] * 100:g}%) "
+                        f"[{'ok' if row['met'] else 'MISSED'}]"
+                    )
+
     sampler = getattr(telemetry, "sampler", None)
     if sampler is not None and sampler.samples:
         lag_peak, lag_final = _series_extent(sampler, "replication_lag", "max")

@@ -15,7 +15,14 @@ harness threads it through the cluster:
   (:class:`~repro.obs.live_audit.LiveAuditProbe`) -- usually requested
   through ``ClusterSimulation(live_audit=True)``;
 * ``availability_interval=<units>`` starts the sampling
-  :class:`~repro.obs.availability.AvailabilityMonitor`.
+  :class:`~repro.obs.availability.AvailabilityMonitor`;
+* ``latency=True`` attaches a :class:`~repro.obs.latency.LatencyTracker`
+  to the same span stream the tracer consumes (per-op-class quantile
+  sketches, phase decomposition, critical-path attribution) -- usually
+  requested through ``ClusterSimulation(latency=True)``;
+* ``slo_interval=<units>`` (or ``slos=(...)``) runs a
+  :class:`~repro.obs.slo.SLOTracker` probe accounting error budgets and
+  burn rates against per-op-class targets (implies ``latency``).
 
 Every pillar defaults to off except the registry (which costs a few
 dict entries); :meth:`Telemetry.full` turns the four passive pillars on
@@ -35,10 +42,12 @@ from repro.obs.availability import (
     DEFAULT_SAMPLES_PER_EPOCH,
     AvailabilityMonitor,
 )
+from repro.obs.latency import LatencyTracker, SpanSinkFanout
 from repro.obs.live_audit import DEFAULT_AUDIT_INTERVAL, LiveAuditProbe
 from repro.obs.registry import MetricsRegistry
 from repro.obs.report import render_run_report
 from repro.obs.sampler import DEFAULT_INTERVAL, ClusterSampler
+from repro.obs.slo import DEFAULT_SLO_INTERVAL, SLOTracker
 from repro.obs.trace import TraceRecorder
 
 
@@ -53,7 +62,10 @@ class Telemetry:
                  audit_interval: float = DEFAULT_AUDIT_INTERVAL,
                  availability_interval: Optional[float] = None,
                  availability_samples: int = DEFAULT_SAMPLES_PER_EPOCH,
-                 availability_seed: Optional[int] = None) -> None:
+                 availability_seed: Optional[int] = None,
+                 latency: bool = False,
+                 slos=None,
+                 slo_interval: Optional[float] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.trace: Optional[TraceRecorder] = \
             TraceRecorder() if trace else None
@@ -66,16 +78,27 @@ class Telemetry:
         #: Seed for the availability monitor's probe-only RNG; derived
         #: from the simulation's seed at attach time when left ``None``.
         self.availability_seed = availability_seed
+        #: SLO tracking implies the latency tracker it accounts against.
+        self.slos = slos
+        self.slo_interval = slo_interval
+        if slos is not None and slo_interval is None:
+            self.slo_interval = DEFAULT_SLO_INTERVAL
+        self.latency: Optional[LatencyTracker] = None
+        if latency or self.slo_interval is not None:
+            self.latency = LatencyTracker(registry=self.registry)
         #: Filled by :meth:`attach`.
         self.sampler: Optional[ClusterSampler] = None
         self.pump_profile = None
         self.auditor: Optional[LiveAuditProbe] = None
         self.availability: Optional[AvailabilityMonitor] = None
+        self.slo: Optional[SLOTracker] = None
 
     @classmethod
     def full(cls, sample_interval: float = DEFAULT_INTERVAL) -> "Telemetry":
-        """Everything on: registry + sampler + tracer + pump profile."""
-        return cls(trace=True, sample_interval=sample_interval, profile=True)
+        """Everything on: registry + sampler + tracer + pump profile +
+        latency decomposition."""
+        return cls(trace=True, sample_interval=sample_interval, profile=True,
+                   latency=True)
 
     @classmethod
     def audited(cls, sample_interval: float = DEFAULT_INTERVAL,
@@ -86,6 +109,25 @@ class Telemetry:
         return cls(trace=True, sample_interval=sample_interval, profile=True,
                    live_audit=True,
                    availability_interval=availability_interval)
+
+    def enable_latency(self) -> None:
+        """Turn the latency pillar on (idempotent).
+
+        Must happen before the cluster is built -- the router captures
+        its span sink at construction (the harness's ``latency=True``
+        path calls this at the right moment)."""
+        if self.latency is None:
+            self.latency = LatencyTracker(registry=self.registry)
+
+    def op_sink(self):
+        """The span sink the router/replica layers should emit into:
+        the trace recorder, the latency tracker, or a fanout over both
+        (None when neither pillar is on)."""
+        if self.trace is not None and self.latency is not None:
+            return SpanSinkFanout(self.trace, self.latency)
+        if self.latency is not None:
+            return self.latency
+        return self.trace
 
     def attach(self, simulation) -> None:
         """Wire the configured pillars to a built simulation.
@@ -127,12 +169,24 @@ class Telemetry:
                 trace=self.trace,
             )
             self.sampler.start()
+        if self.slo_interval is not None and self.slo is None:
+            self.enable_latency()
+            self.slo = SLOTracker(
+                simulation,
+                self.latency,
+                slos=self.slos,
+                interval=self.slo_interval,
+                registry=self.registry,
+                trace=self.trace,
+            )
+            self.slo.start()
         if self.profile:
             self.pump_profile = simulation.kernel.enable_profiling()
 
     def ensure_sampler_armed(self) -> None:
         """Re-arm every probe cadence (harness calls this before pumping)."""
-        for probe in (self.sampler, self.auditor, self.availability):
+        for probe in (self.sampler, self.auditor, self.availability,
+                      self.slo):
             if probe is not None:
                 probe.ensure_armed()
 

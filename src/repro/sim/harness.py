@@ -54,10 +54,22 @@ class ClusterSimulation:
                  replication: Optional[ReplicationConfig] = None,
                  read_policy: Union[str, ReadRoutingPolicy] = "primary",
                  telemetry=None, live_audit: bool = False,
+                 latency: bool = False,
                  sanitize: bool = False) -> None:
         self.seed = seed
         self.kernel = GlobalScheduler(record_trace=record_trace)
         self.latency_regime = LatencyRegime()
+        if latency:
+            # Tail-latency observability: per-op-class quantile sketches,
+            # phase decomposition and critical-path attribution over the
+            # span stream (see repro.obs.latency).  Enabled here, before
+            # the cluster is built, because the router captures its span
+            # sink at construction.
+            from repro.obs.telemetry import Telemetry
+            if telemetry is None:
+                telemetry = Telemetry(latency=True)
+            else:
+                telemetry.enable_latency()
         if live_audit:
             # Online correctness observability: run the streaming session
             # auditor and the sampling availability monitor during the

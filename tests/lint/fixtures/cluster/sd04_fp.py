@@ -1,0 +1,36 @@
+"""SD04 false positives: every shape the rule must leave alone."""
+
+
+class WatchedCoordinator:
+    """Pending dicts are fine when the class registers them."""
+
+    def __init__(self):
+        self._pending = {}
+        self._pending_invocations = {}
+
+    def sanitizer_watches(self):
+        return [("pending", self._pending),
+                ("pending_invocations", self._pending_invocations)]
+
+
+class SetBackedCoordinator:
+    """Set-valued pending state is not a watchable map."""
+
+    def __init__(self):
+        self._pending = set()
+        self.in_flight = []
+
+
+class UnrelatedState:
+    """Dict attributes without pending/in-flight naming are out of scope."""
+
+    def __init__(self):
+        self._open_handles = {}
+        self._results = {}
+
+
+def build_index():
+    # A local variable, not coordinator state.
+    pending = {}
+    pending["x"] = 1
+    return pending

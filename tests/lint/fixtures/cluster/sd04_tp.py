@@ -1,0 +1,27 @@
+"""SD04 true positives: coordinator-style pending state the runtime
+sanitizer cannot see (no ``sanitizer_watches()`` accessor)."""
+
+from collections import OrderedDict, defaultdict
+
+
+class LeakyCoordinator:
+    """Three unwatchable in-flight maps -> three findings."""
+
+    def __init__(self):
+        self._pending = {}
+        self._in_flight_reads = dict()
+        self.pending_invocations = defaultdict(list)
+
+    def dispatch(self, handle):
+        self._pending[handle] = True
+
+
+class LeakyForwarder:
+    """Annotated assignment and an OrderedDict factory both count."""
+
+    def __init__(self):
+        self.inflight: dict = {}
+        self._pending_forwards = OrderedDict()
+
+    def forward(self, handle):
+        self.inflight[handle] = True

@@ -26,13 +26,16 @@ CASES = {
     "sd01": ("SD01", 3),
     "sd02": ("SD02", 2),
     "sd03": ("SD03", 4),
+    "sd04": ("SD04", 5),
 }
+
+#: Rules scoped by path live under a matching fixture subdirectory:
+#: SD01 only fires inside ``obs/``, SD04 inside ``cluster/``/``sim/``.
+_SCOPED_SUBDIRS = {"sd01": "obs", "sd04": "cluster"}
 
 
 def _fixture_path(stem: str, kind: str) -> str:
-    # SD01 is scoped to obs/ modules, so its fixtures live under an
-    # ``obs`` directory to land inside the rule's scope.
-    subdir = "obs" if stem == "sd01" else ""
+    subdir = _SCOPED_SUBDIRS.get(stem, "")
     return os.path.join(FIXTURES, subdir, f"{stem}_{kind}.py")
 
 

@@ -151,6 +151,93 @@ class TestConfidence:
         assert 0.0 < early < late < 1.0
 
 
+class TestBacklogAgeWeighting:
+    """Sampling weighted by repair-backlog age: the oldest known holes
+    are probed directly, so an aged hole whose repair silently gave up
+    is caught in fewer epochs than uniform sampling needs."""
+
+    def _age_a_hole(self, monitor):
+        """Fail a node, let the monitor see its backlog, then withhold
+        the repair -- an *aged* silent hole the watchlist remembers."""
+        simulation = monitor.simulation
+        simulation.cluster.fail_node("pool-0/l2-0", time=simulation.now)
+        simulation.kernel.run(until=simulation.now + 0.5)
+        assert simulation.repair.pending_slots()
+        outcomes = monitor.tick()  # backlog observed -> watchlist stamped
+        assert SILENT not in outcomes
+        withheld = []
+        for task in simulation.repair.tasks:
+            withheld.extend(
+                simulation.repair.withhold_node(task.node_id))
+            break
+        assert withheld
+        return {(task.key, task.l2_index) for task in withheld}
+
+    def _epochs_to_detect(self, backlog_priority, seed=11, limit=60):
+        simulation = build(seed=seed)
+        monitor = AvailabilityMonitor(simulation, samples_per_epoch=2,
+                                      backlog_priority=backlog_priority,
+                                      seed=seed)
+        holes = self._age_a_hole(monitor)
+        for epoch in range(1, limit + 1):
+            if SILENT in monitor.tick():
+                assert {(row["key"], row["l2_index"])
+                        for row in monitor.silent_alarms} <= holes
+                return epoch
+        return limit + 1
+
+    def test_aged_hole_detected_faster_than_uniform(self):
+        weighted = self._epochs_to_detect(backlog_priority=2)
+        uniform = self._epochs_to_detect(backlog_priority=0)
+        assert weighted == 1  # the watchlist probes the oldest slot first
+        assert weighted < uniform
+
+    def test_watchlist_drains_when_the_repair_lands(self):
+        # A hole that the repair pipeline actually fixes must leave the
+        # watchlist once observed present, freeing the budget.
+        simulation = build()
+        monitor = AvailabilityMonitor(simulation, samples_per_epoch=4,
+                                      backlog_priority=2, seed=5)
+        simulation.cluster.fail_node("pool-0/l2-0", time=simulation.now)
+        simulation.kernel.run(until=simulation.now + 0.5)
+        monitor.tick()
+        assert monitor._watchlist
+        simulation.run_until_idle()  # the repair completes
+        for _ in range(4):
+            monitor.tick()
+        assert not monitor._watchlist
+        assert monitor.assessment().ok
+
+    def test_empty_backlog_is_byte_identical_to_uniform(self):
+        # With nothing in the backlog the weighted monitor must draw the
+        # exact same uniform samples (same RNG stream) as priority=0.
+        runs = []
+        for priority in (0, 3):
+            simulation = build(seed=17)
+            monitor = AvailabilityMonitor(simulation, samples_per_epoch=6,
+                                          backlog_priority=priority, seed=17)
+            for _ in range(8):
+                monitor.tick()
+            runs.append((monitor.samples_taken,
+                         dict(monitor.samples_by_object)))
+        assert runs[0] == runs[1]
+
+    def test_budget_is_constant_per_epoch(self):
+        simulation = build()
+        monitor = AvailabilityMonitor(simulation, samples_per_epoch=3,
+                                      backlog_priority=2, seed=3)
+        self._age_a_hole(monitor)
+        before = monitor.samples_taken
+        for _ in range(5):
+            assert len(monitor.tick()) == 3
+        assert monitor.samples_taken == before + 15
+
+    def test_negative_priority_rejected(self):
+        simulation = ClusterSimulation(CONFIG, POOLS, seed=1)
+        with pytest.raises(ValueError):
+            AvailabilityMonitor(simulation, backlog_priority=-1)
+
+
 class TestDrillPreconditions:
     def test_under_replication_needs_shards(self):
         simulation = ClusterSimulation(CONFIG, POOLS, seed=1)

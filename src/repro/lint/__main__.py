@@ -3,7 +3,21 @@
 With no paths the scan targets the installed ``repro`` package tree --
 the self-scan CI runs.  Exit status: 0 clean, 1 findings, 2 usage
 error.  ``--no-pragmas`` reveals suppressed findings (useful to audit
-what the pragmas are hiding); ``--select`` narrows to specific rules.
+what the pragmas are hiding); ``--select`` narrows to specific rules;
+``--require-justification`` additionally fails on pragmas without a
+``-- why`` trailer.
+
+Incremental-adoption surface::
+
+    python -m repro.lint --format sarif --output scan.sarif src
+    python -m repro.lint --write-baseline lint-baseline.json examples
+    python -m repro.lint --baseline lint-baseline.json examples
+    python -m repro.lint --changed origin/main src
+
+``--changed BASE`` still parses every requested file (whole-program
+rules need the full call graph) but only reports findings in files git
+says changed since ``BASE``; ``--baseline`` drops findings whose
+line-content fingerprint is in the committed ledger.
 """
 
 from __future__ import annotations
@@ -13,7 +27,9 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.lint import baseline as baseline_mod
 from repro.lint.engine import LintError, all_rules, lint_paths
+from repro.lint.output import RENDERERS
 
 
 def _default_target() -> str:
@@ -40,6 +56,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="comma-separated rule ids to run (e.g. ND01,SD03)")
     parser.add_argument("--no-pragmas", action="store_true",
                         help="ignore simlint pragmas and report everything")
+    parser.add_argument("--require-justification", action="store_true",
+                        help="fail on pragmas without a '-- why' justification")
+    parser.add_argument("--format", choices=sorted(RENDERERS),
+                        default="text", dest="fmt",
+                        help="output format (default: text)")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="suppress findings fingerprinted in FILE")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        help="record current findings as the accepted "
+                             "baseline and exit 0")
+    parser.add_argument("--changed", metavar="BASE",
+                        help="report only findings in files git changed "
+                             "since BASE (whole program is still analysed)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule table and exit")
     parser.add_argument("--statistics", action="store_true",
@@ -55,21 +86,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.select:
         select = [r.strip() for r in args.select.split(",") if r.strip()]
     try:
-        findings = lint_paths(paths, select=select,
-                              respect_pragmas=not args.no_pragmas)
+        findings = lint_paths(
+            paths, select=select,
+            respect_pragmas=not args.no_pragmas,
+            require_justification=args.require_justification)
+
+        cache = baseline_mod.SourceCache()
+        if args.changed:
+            changed = baseline_mod.changed_files(args.changed)
+            findings = baseline_mod.restrict_to_changed(findings, changed)
+
+        if args.write_baseline:
+            count = baseline_mod.write_baseline(
+                args.write_baseline, findings, cache)
+            print(f"baseline: recorded {count} finding(s) in "
+                  f"{args.write_baseline}", file=sys.stderr)
+            return 0
+
+        suppressed = 0
+        if args.baseline:
+            accepted = baseline_mod.load_baseline(args.baseline)
+            findings, suppressed = baseline_mod.apply_baseline(
+                findings, accepted, cache)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    for finding in findings:
-        print(finding.format())
-    if args.statistics and findings:
+    report = RENDERERS[args.fmt](findings, cache)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+    else:
+        sys.stdout.write(report)
+
+    if args.statistics and findings and args.fmt == "text":
         counts: dict = {}
         for finding in findings:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
         print("--")
         for rule_id in sorted(counts):
             print(f"{rule_id}: {counts[rule_id]}")
+    if suppressed:
+        print(f"baseline: suppressed {suppressed} known finding(s)",
+              file=sys.stderr)
     if findings:
         print(f"{len(findings)} finding(s)", file=sys.stderr)
         return 1

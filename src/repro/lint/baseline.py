@@ -1,0 +1,180 @@
+"""Finding fingerprints, the committed baseline, and diff-aware scans.
+
+New rule families land on an existing tree without a flag-day cleanup:
+``--write-baseline lint-baseline.json`` records every current finding
+as a *fingerprint*, and subsequent scans with ``--baseline`` report
+only findings not in that ledger.  CI fails on regressions while the
+baseline burns down incrementally.
+
+A fingerprint deliberately ignores line *numbers*: it is a short SHA-1
+over ``(rule id, normalised path, stripped text of the flagged source
+line)``, so inserting code above a baselined finding does not
+invalidate the ledger, while editing the flagged line itself (or fixing
+it) does.  Identical lines in one file share a fingerprint; the
+baseline therefore stores an *occurrence count* per fingerprint and a
+scan suppresses at most that many occurrences.
+
+``changed_files(base)`` backs the ``--changed BASE`` mode: the scan
+still parses the whole program (cross-module propagation needs every
+module), but only findings located in files touched since ``BASE`` --
+plus untracked files -- are reported.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.engine import Finding, LintError
+
+#: Schema version of the baseline file; bump on incompatible changes.
+BASELINE_VERSION = 1
+
+
+def normalise_path(path: str) -> str:
+    normalized = path.replace(os.sep, "/")
+    while normalized.startswith("./"):
+        normalized = normalized[2:]
+    return normalized
+
+
+class SourceCache:
+    """Lazily reads and caches the split lines of scanned files."""
+
+    def __init__(self,
+                 sources: Optional[Dict[str, str]] = None) -> None:
+        self._lines: Dict[str, List[str]] = {}
+        if sources:
+            for path, text in sources.items():
+                self._lines[path] = text.splitlines()
+
+    def line(self, path: str, lineno: int) -> str:
+        if path not in self._lines:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    self._lines[path] = fh.read().splitlines()
+            except OSError:
+                self._lines[path] = []
+        lines = self._lines[path]
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+
+def fingerprint(finding: Finding, line_text: str) -> str:
+    """Stable 16-hex-digit id for a finding, line-number independent."""
+    digest = hashlib.sha1()
+    digest.update(finding.rule.encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(normalise_path(finding.path).encode("utf-8"))
+    digest.update(b"\x00")
+    digest.update(line_text.strip().encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def compute_fingerprints(findings: Sequence[Finding],
+                         cache: Optional[SourceCache] = None) -> List[str]:
+    """Fingerprints aligned index-for-index with ``findings``."""
+    cache = cache or SourceCache()
+    return [fingerprint(f, cache.line(f.path, f.line)) for f in findings]
+
+
+def write_baseline(path: str, findings: Sequence[Finding],
+                   cache: Optional[SourceCache] = None) -> int:
+    """Record the findings as the accepted baseline; returns the count."""
+    counts: Dict[str, int] = {}
+    for print_ in compute_fingerprints(findings, cache):
+        counts[print_] = counts.get(print_, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "tool": "repro.lint",
+        "findings": len(findings),
+        "fingerprints": {key: counts[key] for key in sorted(counts)},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(findings)
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Fingerprint -> accepted occurrence count from a baseline file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path!r}: {exc}")
+    except ValueError as exc:
+        raise LintError(f"baseline {path!r} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) \
+            or payload.get("version") != BASELINE_VERSION \
+            or not isinstance(payload.get("fingerprints"), dict):
+        raise LintError(f"baseline {path!r} has an unrecognised format "
+                        f"(expected version {BASELINE_VERSION})")
+    fingerprints: Dict[str, int] = {}
+    for key, count in payload["fingerprints"].items():
+        if not isinstance(count, int) or count < 0:
+            raise LintError(f"baseline {path!r}: bad count for {key!r}")
+        fingerprints[str(key)] = count
+    return fingerprints
+
+
+def apply_baseline(findings: Sequence[Finding], accepted: Dict[str, int],
+                   cache: Optional[SourceCache] = None,
+                   ) -> Tuple[List[Finding], int]:
+    """Drop baselined findings; returns (fresh findings, suppressed count).
+
+    Each fingerprint suppresses at most its recorded occurrence count,
+    so a baselined pattern that *multiplies* still fails the scan.
+    """
+    remaining = dict(accepted)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding, print_ in zip(findings,
+                               compute_fingerprints(findings, cache)):
+        if remaining.get(print_, 0) > 0:
+            remaining[print_] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed
+
+
+def changed_files(base: str, repo_root: str = ".") -> Set[str]:
+    """Real paths of ``.py`` files changed since ``base`` (plus untracked)."""
+    def run(*argv: str) -> List[str]:
+        try:
+            proc = subprocess.run(
+                ["git", "-C", repo_root, *argv],
+                capture_output=True, text=True, check=True)
+        except FileNotFoundError:
+            raise LintError("--changed requires git on PATH")
+        except subprocess.CalledProcessError as exc:
+            detail = (exc.stderr or "").strip() or f"exit {exc.returncode}"
+            raise LintError(f"git {' '.join(argv[:2])} failed: {detail}")
+        return [line for line in proc.stdout.splitlines() if line]
+
+    top = run("rev-parse", "--show-toplevel")[0]
+    names = run("diff", "--name-only", base, "--")
+    names += run("ls-files", "--others", "--exclude-standard")
+    return {os.path.realpath(os.path.join(top, name))
+            for name in names if name.endswith(".py")}
+
+
+def restrict_to_changed(findings: Sequence[Finding],
+                        changed: Iterable[str]) -> List[Finding]:
+    """Keep only findings located in one of the ``changed`` real paths."""
+    wanted = set(changed)
+    return [f for f in findings
+            if os.path.realpath(f.path) in wanted]
+
+
+__all__ = [
+    "BASELINE_VERSION", "SourceCache", "normalise_path",
+    "apply_baseline", "changed_files", "compute_fingerprints",
+    "fingerprint", "load_baseline", "restrict_to_changed",
+    "write_baseline",
+]

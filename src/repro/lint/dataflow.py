@@ -1,0 +1,550 @@
+"""Forward time-domain taint analysis over function bodies.
+
+Every time-valued expression in this codebase lives in exactly one
+*domain*:
+
+* ``shard-local`` -- a per-shard simulator's clock (``*.simulator.now``,
+  ``peek_time()``, ``to_local(...)``);
+* ``global`` -- the kernel's merged clock (``kernel.now``,
+  ``shard_now(...)``, ``to_global(...)``, ``global_now``);
+* ``wall-clock`` -- host time (the ND02 call set), which must never meet
+  virtual time at all.
+
+The two virtual domains differ by a per-source *offset*; comparing or
+mixing them without that translation is the repo's worst historical bug
+class (PR 3's missing-offset raise, PR 7's probe-rearm-in-local-past
+clamp).  This engine classifies expressions, propagates the domain
+through assignments, branches, ``self``-attribute state, returns, and
+call boundaries, and records a :class:`TaintEvent` wherever two
+different domains meet:
+
+* ``compare`` -- a comparison (or ``max``/``min``) across domains;
+* ``arith``   -- ``+``/``-`` across domains that is *not* the sanctioned
+  offset translation (``local + offset`` reads as a translation to
+  global, ``global - offset`` back to local);
+* ``schedule`` -- a time argument handed to a scheduler expecting the
+  other domain (``kernel.schedule_at``/``schedule_probe``/
+  ``schedule_on_shard`` take global time; a raw ``simulator.schedule_at``
+  takes local time), or wall-clock time handed to any scheduler.
+
+Interprocedural propagation is summary-based and runs to a fixpoint:
+each function exports its *return domain* and, for every parameter, the
+domain the body *expects* of it (because the parameter is compared,
+mixed, or scheduled against that domain).  Call sites then check known
+argument domains against callee expectations -- that is how a
+shard-local time laundered through a helper still gets flagged at the
+call that injects it.
+
+Modules that legitimately own the translation (``net/``, the kernel and
+its runtime sanitizer -- :attr:`ModuleContext.is_simulator_layer`) are
+analysed for summaries but never reported against, mirroring SD03.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.lint.callgraph import FunctionInfo, ProjectIndex
+from repro.lint.nondeterminism import _WALL_CLOCK
+
+#: The three concrete time domains.
+LOCAL = "shard-local"
+GLOBAL = "global"
+WALL = "wall-clock"
+
+#: Abstract value: a concrete domain, a parameter tag, or unknown (None).
+Value = Union[str, Tuple[str, int], None]
+
+#: Parameter names that carry their domain in their name, the naming
+#: convention the kernel/sanitizer layer already follows.
+_PARAM_DOMAINS = {
+    "local_time": LOCAL, "local_now": LOCAL,
+    "global_time": GLOBAL, "global_now": GLOBAL,
+}
+
+#: Receiver tails that identify whose clock ``<recv>.now`` is.
+_LOCAL_OWNERS = ("simulator", "sim")
+_KERNEL_TOKEN = "kernel"
+
+#: Calls whose *result* has a fixed domain.
+_LOCAL_CALLS = frozenset({"peek_time", "to_local"})
+_GLOBAL_CALLS = frozenset({"shard_now", "to_global"})
+
+#: Scheduler sinks: method name -> (index of the time argument, its
+#: keyword name, domain expected -- None means "depends on receiver").
+_SCHEDULE_SINKS = {
+    "schedule_at": (0, "time", None),
+    "schedule_probe": (0, "time", GLOBAL),
+    "schedule_on_shard": (1, "at", GLOBAL),
+}
+
+
+def _is_param(value: Value) -> bool:
+    return isinstance(value, tuple)
+
+
+def _tail(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_offset_expr(node: ast.expr) -> bool:
+    """Does this expression read as a per-source epoch offset?"""
+    if isinstance(node, ast.Call):
+        node = node.func
+    tail = _tail(node)
+    return tail is not None and "offset" in tail.lower()
+
+
+@dataclass(frozen=True)
+class TaintEvent:
+    """One cross-domain meeting point, attached to an AST node."""
+
+    kind: str  # "compare" | "arith" | "schedule"
+    path: str
+    line: int
+    col: int
+    left: str
+    right: str
+    detail: str = ""
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.col, self.kind, self.detail)
+
+
+@dataclass
+class Summary:
+    """Interprocedural facts exported by one function."""
+
+    return_domain: Value = None
+    #: param index -> (expected domain, event kind that established it).
+    expectations: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+
+    def key(self):
+        return (self.return_domain, tuple(sorted(self.expectations.items())))
+
+
+class TimeflowAnalysis:
+    """Project-wide fixpoint over function summaries, then event collection."""
+
+    #: Fixpoint safety valve; summaries converge in 2-3 rounds in practice.
+    MAX_ROUNDS = 8
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.summaries: Dict[FunctionInfo, Summary] = {
+            info: Summary() for info in index.functions}
+        #: (ctx.path, class) -> {attr: Value} -- ``self.x`` time state.
+        self.attr_domains: Dict[Tuple[str, str], Dict[str, Value]] = {}
+        self.events: List[TaintEvent] = []
+        self._run()
+
+    # -- driver ---------------------------------------------------------------
+
+    def _run(self) -> None:
+        for _ in range(self.MAX_ROUNDS):
+            changed = False
+            for info in self.index.functions:
+                summary = _FunctionPass(self, info, collect=False).run()
+                if summary.key() != self.summaries[info].key():
+                    self.summaries[info] = summary
+                    changed = True
+            if not changed:
+                break
+        seen = set()
+        for info in self.index.functions:
+            if info.ctx.is_simulator_layer:
+                continue  # the translation layer is allowed to mix
+            final = _FunctionPass(self, info, collect=True)
+            final.run()
+            for event in final.events:
+                if event.sort_key not in seen:
+                    seen.add(event.sort_key)
+                    self.events.append(event)
+        self.events.sort(key=lambda e: e.sort_key)
+
+    # -- shared attribute state ----------------------------------------------
+
+    def attr_value(self, info: FunctionInfo, attr: str) -> Value:
+        if info.cls is None:
+            return None
+        return self.attr_domains.get((info.ctx.path, info.cls), {}).get(attr)
+
+    def set_attr(self, info: FunctionInfo, attr: str, value: Value) -> None:
+        if info.cls is None or _is_param(value):
+            return
+        store = self.attr_domains.setdefault((info.ctx.path, info.cls), {})
+        prior = store.get(attr, "<unset>")
+        if prior == "<unset>":
+            store[attr] = value
+        elif prior != value:
+            store[attr] = None  # conflicting writes poison the attribute
+
+
+class _FunctionPass:
+    """One forward walk of one function body."""
+
+    def __init__(self, analysis: TimeflowAnalysis, info: FunctionInfo,
+                 collect: bool) -> None:
+        self.analysis = analysis
+        self.info = info
+        self.ctx = info.ctx
+        self.collect = collect
+        self.env: Dict[str, Value] = {}
+        self.summary = Summary()
+        self.events: List[TaintEvent] = []
+        self._returns: List[Value] = []
+        for i, name in enumerate(info.params):
+            self.env[name] = _PARAM_DOMAINS.get(name, ("param", i))
+
+    def run(self) -> Summary:
+        self._walk(self.info.body)
+        returned = {None if _is_param(v) else v for v in self._returns}
+        if len(returned) == 1:
+            self.summary.return_domain = returned.pop()
+        return self.summary
+
+    # -- events / expectations ------------------------------------------------
+
+    def _event(self, node: ast.AST, kind: str, left: str, right: str,
+               detail: str = "") -> None:
+        if self.collect:
+            self.events.append(TaintEvent(
+                kind=kind, path=self.ctx.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0) + 1,
+                left=left, right=right, detail=detail))
+
+    def _expect(self, value: Value, domain: str, kind: str) -> None:
+        """The body requires ``value`` (a parameter) to be ``domain``."""
+        if _is_param(value) and domain in (LOCAL, GLOBAL):
+            index = value[1]
+            if index not in self.summary.expectations:
+                self.summary.expectations[index] = (domain, kind)
+
+    def _meet(self, node: ast.AST, kind: str, a: Value, b: Value,
+              detail: str = "") -> None:
+        """Two values meet in a comparison/arithmetic context."""
+        if a in (LOCAL, GLOBAL, WALL) and b in (LOCAL, GLOBAL, WALL):
+            if a != b:
+                self._event(node, kind, a, b, detail)
+        elif _is_param(a) and b in (LOCAL, GLOBAL):
+            self._expect(a, b, kind)
+        elif _is_param(b) and a in (LOCAL, GLOBAL):
+            self._expect(b, a, kind)
+
+    # -- statement walk -------------------------------------------------------
+
+    def _walk(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._value(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._value(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            current = self._read_target(stmt.target)
+            incoming = self._value(stmt.value)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                result = self._combine(stmt, stmt.op, current, incoming,
+                                       stmt.target, stmt.value)
+                self._bind(stmt.target, result)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._returns.append(self._value(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self._value(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._value(stmt.test)
+            before = dict(self.env)
+            self._walk(stmt.body)
+            after_body = self.env
+            self.env = dict(before)
+            self._walk(stmt.orelse)
+            merged = {}
+            for name in sorted(set(after_body) | set(self.env)):
+                a, b = after_body.get(name), self.env.get(name)
+                merged[name] = a if a == b else None
+            self.env = merged
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._value(stmt.iter)
+            # Two passes so loop-carried assignments stabilise.
+            self._walk(stmt.body)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._value(stmt.test)
+            self._walk(stmt.body)
+            self._walk(stmt.body)
+            self._walk(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._value(item.context_expr)
+            self._walk(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._walk(stmt.body)
+            for handler in stmt.handlers:
+                self._walk(handler.body)
+            self._walk(stmt.orelse)
+            self._walk(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            return  # separate scopes, analysed on their own
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._value(child)
+
+    def _bind(self, target: ast.expr, value: Value) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+        elif isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            self.analysis.set_attr(self.info, target.attr, value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, None)
+
+    def _read_target(self, target: ast.expr) -> Value:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id)
+        if isinstance(target, ast.Attribute) \
+                and isinstance(target.value, ast.Name) \
+                and target.value.id == "self":
+            return self.analysis.attr_value(self.info, target.attr)
+        return None
+
+    # -- expression evaluation ------------------------------------------------
+
+    def _value(self, node: ast.expr) -> Value:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.BinOp):
+            left = self._value(node.left)
+            right = self._value(node.right)
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                return self._combine(node, node.op, left, right,
+                                     node.left, node.right)
+            return None
+        if isinstance(node, ast.Compare):
+            values = [(node.left, self._value(node.left))]
+            values += [(c, self._value(c)) for c in node.comparators]
+            for i in range(len(values) - 1):
+                (_, a), (n, b) = values[i], values[i + 1]
+                self._meet(n, "compare", a, b)
+            return None
+        if isinstance(node, ast.IfExp):
+            self._value(node.test)
+            a, b = self._value(node.body), self._value(node.orelse)
+            return a if a == b else None
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self._value(v)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self._value(element)
+            return None
+        if isinstance(node, ast.Dict):
+            for k in node.keys:
+                if k is not None:
+                    self._value(k)
+            for v in node.values:
+                self._value(v)
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self._value(node.operand)
+        if isinstance(node, ast.Subscript):
+            self._value(node.value)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp, ast.Lambda)):
+            return None  # nested scopes: out of this pass's reach
+        if isinstance(node, ast.Starred):
+            return self._value(node.value)
+        return None
+
+    def _attribute(self, node: ast.Attribute) -> Value:
+        if node.attr == "global_now":
+            return GLOBAL
+        if node.attr == "now":
+            owner_tail = _tail(node.value)
+            if owner_tail is not None:
+                low = owner_tail.lower()
+                if low in _LOCAL_OWNERS:
+                    return LOCAL
+                if _KERNEL_TOKEN in low:
+                    return GLOBAL
+            return None
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            return self.analysis.attr_value(self.info, node.attr)
+        return None
+
+    def _combine(self, node: ast.AST, op: ast.operator, left: Value,
+                 right: Value, left_node: ast.expr,
+                 right_node: ast.expr) -> Value:
+        # Sanctioned translation: local + offset -> global; global -
+        # offset -> local; offset + local -> global.
+        if left in (LOCAL, GLOBAL) and _is_offset_expr(right_node):
+            if isinstance(op, ast.Add):
+                return GLOBAL if left == LOCAL else left
+            return LOCAL if left == GLOBAL else left
+        if right in (LOCAL, GLOBAL) and _is_offset_expr(left_node) \
+                and isinstance(op, ast.Add):
+            return GLOBAL if right == LOCAL else right
+        concrete_left = left in (LOCAL, GLOBAL, WALL)
+        concrete_right = right in (LOCAL, GLOBAL, WALL)
+        if concrete_left and concrete_right:
+            if left != right:
+                self._event(node, "arith", left, right)
+                return None
+            # t2 - t1 in one domain is a duration; t + t keeps the domain.
+            return None if isinstance(op, ast.Sub) else left
+        if concrete_left or concrete_right:
+            self._meet(node, "arith", left, right)
+            return left if concrete_left else right
+        return None
+
+    def _call(self, node: ast.Call) -> Value:
+        for arg in node.args:
+            self._value(arg)
+        for kw in node.keywords:
+            self._value(kw.value)
+
+        func = node.func
+        name = None
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+
+        resolved = self.ctx.resolve_call(func)
+        if resolved in _WALL_CLOCK:
+            return WALL
+
+        if name in ("max", "min") and isinstance(func, ast.Name):
+            values = [(a, self._value(a)) for a in node.args]
+            for i in range(len(values) - 1):
+                (_, a), (n, b) = values[i], values[i + 1]
+                self._meet(n, "compare", a, b, detail=f"{name}()")
+            concrete = {v for _, v in values if v in (LOCAL, GLOBAL, WALL)}
+            return concrete.pop() if len(concrete) == 1 else None
+
+        if name in _SCHEDULE_SINKS:
+            self._schedule_sink(node, name)
+
+        if name in _LOCAL_CALLS:
+            return LOCAL
+        if name in _GLOBAL_CALLS:
+            return GLOBAL
+
+        # Project-resolved callees: return summaries + arg expectations.
+        # Ambiguous bare-name matches are only trusted when every
+        # candidate agrees; expectation checks demand a single target.
+        candidates = self.analysis.index.resolve_call(self.info, node)
+        if candidates:
+            self._check_arguments(node, candidates)
+            returns = {self.analysis.summaries[c].return_domain
+                       for c in candidates}
+            if len(returns) == 1:
+                value = returns.pop()
+                return value if value in (LOCAL, GLOBAL, WALL) else None
+        return None
+
+    def _check_arguments(self, node: ast.Call,
+                         candidates: List[FunctionInfo]) -> None:
+        if len(candidates) != 1:
+            return
+        callee = candidates[0]
+        summary = self.analysis.summaries[callee]
+        if not summary.expectations:
+            return
+        params = callee.params
+        for position, arg in enumerate(node.args):
+            self._check_one_argument(node, callee, summary, position, arg)
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in params:
+                self._check_one_argument(node, callee, summary,
+                                         params.index(kw.arg), kw.value)
+
+    def _check_one_argument(self, node: ast.Call, callee: FunctionInfo,
+                            summary: Summary, position: int,
+                            arg: ast.expr) -> None:
+        expectation = summary.expectations.get(position)
+        if expectation is None:
+            return
+        expected, kind = expectation
+        value = self._value(arg)
+        params = callee.params
+        param_name = params[position] if position < len(params) else "?"
+        if value in (LOCAL, GLOBAL, WALL) and value != expected:
+            self._event(
+                node, kind, value, expected,
+                detail=f"via parameter {param_name!r} of {callee.name}()")
+        elif _is_param(value):
+            # Taint flows through: this caller's parameter inherits the
+            # callee's expectation.
+            self._expect(value, expected, kind)
+
+    def _schedule_sink(self, node: ast.Call, name: str) -> None:
+        position, keyword, expected = _SCHEDULE_SINKS[name]
+        time_arg: Optional[ast.expr] = None
+        if len(node.args) > position:
+            time_arg = node.args[position]
+        else:
+            for kw in node.keywords:
+                if kw.arg == keyword:
+                    time_arg = kw.value
+        if time_arg is None:
+            return
+        if expected is None:  # schedule_at: domain depends on the receiver
+            func = node.func
+            receiver_tail = _tail(func.value) if isinstance(
+                func, ast.Attribute) else None
+            if receiver_tail is None:
+                return
+            low = receiver_tail.lower()
+            if low in _LOCAL_OWNERS:
+                expected = LOCAL
+            elif _KERNEL_TOKEN in low:
+                expected = GLOBAL
+            else:
+                # Unknown receiver: only wall-clock time is always wrong.
+                value = self._value(time_arg)
+                if value == WALL:
+                    self._event(time_arg, "schedule", WALL, "virtual",
+                                detail=f"{name}()")
+                return
+        value = self._value(time_arg)
+        if value == WALL:
+            self._event(time_arg, "schedule", WALL, expected,
+                        detail=f"{name}()")
+        elif value in (LOCAL, GLOBAL) and value != expected:
+            self._event(time_arg, "schedule", value, expected,
+                        detail=f"{name}()")
+        elif _is_param(value):
+            self._expect(value, expected, "schedule")
+
+
+def analyze_timeflow(index: ProjectIndex) -> TimeflowAnalysis:
+    return TimeflowAnalysis(index)
+
+
+__all__ = ["GLOBAL", "LOCAL", "WALL", "Summary", "TaintEvent",
+           "TimeflowAnalysis", "analyze_timeflow"]

@@ -12,7 +12,14 @@ from __future__ import annotations
 import ast
 from typing import List
 
-from repro.lint.engine import Finding, ModuleContext, Rule, dotted_name
+from repro.lint.engine import (
+    Finding,
+    ModuleContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    dotted_name,
+)
 
 #: Protocol-mutating methods of the router / replica coordinator /
 #: membership / repair scheduler / kernel foreground API.  A module
@@ -37,43 +44,85 @@ MUTATING_CALLS = frozenset({
 })
 
 
-class RuleSD01(Rule):
+class RuleSD01(ProjectRule):
     """Observability modules must not mutate protocol state.
 
     The telemetry-on/off byte-identity gate rests on every probe being
-    pure observation.  This rule flags calls from ``obs/`` modules to
-    known mutating router/replica/membership/repair/kernel APIs on any
-    non-``self`` receiver.  Probe classes that *deliberately* drive
-    sanctioned machinery (none today; the LiveAuditProbe and the
-    RepairScheduler interplay goes through read-only surfaces like
-    ``pending_slots``) annotate the call site with a justified pragma.
+    pure observation.  Two triggers:
+
+    * **direct** -- a call from an ``obs/`` module to a known mutating
+      router/replica/membership/repair/kernel API on any non-``self``
+      receiver (the original module-local check);
+    * **transitive** -- a call from an ``obs/`` module to a helper
+      (resolved through the project call graph: local defs, import
+      aliases, unique method names) whose body *transitively* reaches a
+      mutating API.  Purity is propagated over the whole program by
+      :meth:`repro.lint.callgraph.ProjectIndex.compute_purity`, so a
+      probe laundering a mutation through ``cluster/`` helpers is
+      flagged at the probe's call site with the witness chain.
+
+    Probe classes that *deliberately* drive sanctioned machinery (none
+    today) annotate the call site with a justified pragma.
     """
 
     rule_id = "SD01"
-    title = "obs/ module calls a mutating protocol API"
+    title = "obs/ module reaches a mutating protocol API"
 
-    def check(self, ctx: ModuleContext) -> List[Finding]:
-        if not ctx.is_obs_module:
-            return []
+    def check_project(self, project: ProjectContext) -> List[Finding]:
         findings: List[Finding] = []
-        for node in ast.walk(ctx.tree):
-            if not isinstance(node, ast.Call):
+        purity = None  # computed on first demand: obs/ modules only
+        for ctx in project.modules:
+            if not ctx.is_obs_module:
                 continue
-            func = node.func
-            if not isinstance(func, ast.Attribute):
-                continue
-            if func.attr not in MUTATING_CALLS:
-                continue
-            # A probe driving its own machinery (``self.tick()``) is its
-            # own business; the same method reached through a held
-            # protocol reference (``self.simulation.repair.fail(...)``)
-            # is interference and stays flagged.
-            if dotted_name(func.value) == "self":
-                continue
-            findings.append(ctx.finding(
-                self, node,
-                f"obs/ module calls mutating API .{func.attr}() -- probes "
-                f"must be pure observation (noninterference)"))
+            direct_nodes = set()
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in MUTATING_CALLS:
+                    continue
+                # A probe driving its own machinery (``self.tick()``) is
+                # its own business; the same method reached through a
+                # held protocol reference
+                # (``self.simulation.repair.fail(...)``) is interference
+                # and stays flagged.
+                if dotted_name(func.value) == "self":
+                    continue
+                direct_nodes.add(id(node))
+                findings.append(ctx.finding(
+                    self, node,
+                    f"obs/ module calls mutating API .{func.attr}() -- "
+                    f"probes must be pure observation (noninterference)"))
+
+            if purity is None:
+                purity = project.purity
+            index = project.index
+            for caller in index.functions:
+                if caller.ctx is not ctx:
+                    continue
+                for call, callee in index.precise_callees(caller):
+                    if id(call) in direct_nodes:
+                        continue  # already reported as a direct mutation
+                    if callee.ctx.is_obs_module:
+                        continue  # its own body carries the direct finding
+                    if callee.ctx.is_simulator_layer:
+                        # The kernel/sanitizer/net implementation of the
+                        # sanctioned observation surface (schedule_probe,
+                        # pending_work) legitimately touches raw
+                        # simulators; abusing a *mutating* kernel API
+                        # from obs/ is caught by the direct check above.
+                        continue
+                    chain = purity.get(callee)
+                    if chain is None:
+                        continue
+                    hops = " -> ".join([f"{callee.name}()"] + chain)
+                    findings.append(ctx.finding(
+                        self, call,
+                        f"obs/ module reaches mutating API through helper "
+                        f"{hops} -- probes must be pure observation "
+                        f"(noninterference)"))
         return findings
 
 

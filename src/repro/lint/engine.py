@@ -40,6 +40,7 @@ _PRAGMA_RE = re.compile(
 #: Engine-level diagnostics (not suppressible, not real rules).
 SYNTAX_ERROR = "E001"
 UNKNOWN_PRAGMA_RULE = "E002"
+BARE_PRAGMA = "E003"
 
 
 @dataclass(frozen=True)
@@ -168,12 +169,68 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule(Rule):
+    """A rule that sees the whole program at once.
+
+    Project rules consume the shared :class:`ProjectContext` (symbol
+    table, call graph, dataflow summaries) built over every parse-clean
+    module of the scan; findings still attach to individual modules and
+    are suppressed by that module's pragmas exactly like module-local
+    findings.  Single-file scans simply run them over a one-module
+    project, so fixtures and ``lint_source`` keep working unchanged.
+    """
+
+    def check(self, ctx: ModuleContext) -> List[Finding]:
+        return []
+
+    def check_project(self, project: "ProjectContext") -> List[Finding]:
+        raise NotImplementedError
+
+
+class ProjectContext:
+    """The whole scanned program: modules plus lazily-built analyses."""
+
+    def __init__(self, modules: Sequence[ModuleContext]) -> None:
+        self.modules = list(modules)
+        self.by_path: Dict[str, ModuleContext] = {
+            ctx.path: ctx for ctx in self.modules}
+        self._index = None
+        self._timeflow = None
+        self._purity = None
+
+    @property
+    def index(self):
+        """The project symbol table / call graph (built once)."""
+        if self._index is None:
+            from repro.lint.callgraph import build_index
+            self._index = build_index(self.modules)
+        return self._index
+
+    @property
+    def timeflow(self):
+        """The interprocedural time-domain taint analysis (run once)."""
+        if self._timeflow is None:
+            from repro.lint.dataflow import analyze_timeflow
+            self._timeflow = analyze_timeflow(self.index)
+        return self._timeflow
+
+    @property
+    def purity(self):
+        """Impure functions -> witness chains (computed once)."""
+        if self._purity is None:
+            self._purity = self.index.compute_purity()
+        return self._purity
+
+
 def all_rules() -> List[Rule]:
-    """Every shipped rule, ND tier first, stable order."""
+    """Every shipped rule; ids are unique and sorted (ND, RP, SD, TD)."""
     from repro.lint.discipline import DISCIPLINE_RULES
     from repro.lint.nondeterminism import NONDETERMINISM_RULES
+    from repro.lint.provenance import PROVENANCE_RULES
+    from repro.lint.timedomain import TIMEDOMAIN_RULES
 
-    return [cls() for cls in NONDETERMINISM_RULES + DISCIPLINE_RULES]
+    return [cls() for cls in NONDETERMINISM_RULES + PROVENANCE_RULES
+            + DISCIPLINE_RULES + TIMEDOMAIN_RULES]
 
 
 def known_rule_ids() -> Set[str]:
@@ -215,35 +272,93 @@ def _select(rules: Optional[Sequence[Rule]],
     return active
 
 
-def lint_source(source: str, path: str = "<string>", *,
-                rules: Optional[Sequence[Rule]] = None,
-                select: Optional[Iterable[str]] = None,
-                respect_pragmas: bool = True) -> List[Finding]:
-    """Scan one module's source text; returns sorted findings."""
-    active = _select(rules, select)
+def _build_context(source: str, path: str) -> Tuple[Optional[ModuleContext],
+                                                    Optional[Finding]]:
     normalized = path.replace(os.sep, "/")
     parts = tuple(p for p in normalized.split("/") if p and p != ".")
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [Finding(rule=SYNTAX_ERROR, path=path,
-                        line=exc.lineno or 0, col=(exc.offset or 0),
-                        message=f"file does not parse: {exc.msg}")]
+        return None, Finding(rule=SYNTAX_ERROR, path=path,
+                             line=exc.lineno or 0, col=(exc.offset or 0),
+                             message=f"file does not parse: {exc.msg}")
     imports = _ImportMap()
     imports.visit(tree)
-    ctx = ModuleContext(path=path, source=source, tree=tree, parts=parts,
-                        imports=imports.names)
-    diagnostics: List[Finding] = []
-    _collect_pragmas(ctx, known_rule_ids(), diagnostics)
-    findings: List[Finding] = list(diagnostics)
+    return ModuleContext(path=path, source=source, tree=tree, parts=parts,
+                         imports=imports.names), None
+
+
+def _suppressed(ctx: ModuleContext, found: Finding) -> bool:
+    return (found.rule in ctx.file_pragmas
+            or found.rule in ctx.line_pragmas.get(found.line, ()))
+
+
+def lint_sources(entries: Sequence[Tuple[str, str]], *,
+                 rules: Optional[Sequence[Rule]] = None,
+                 select: Optional[Iterable[str]] = None,
+                 respect_pragmas: bool = True,
+                 require_justification: bool = False) -> List[Finding]:
+    """Scan ``(path, source)`` modules as one program; sorted findings.
+
+    Module-local rules run per module; :class:`ProjectRule` subclasses
+    run once over the whole set (symbol table and call graph span every
+    parse-clean module), with their findings suppressed by the owning
+    module's pragmas.  ``require_justification`` additionally reports a
+    ``E003`` diagnostic for every pragma whose ``--`` justification is
+    missing or empty.
+    """
+    active = _select(rules, select)
+    known = known_rule_ids()
+    findings: List[Finding] = []
+    contexts: List[ModuleContext] = []
+    for path, source in entries:
+        ctx, error = _build_context(source, path)
+        if ctx is None:
+            findings.append(error)
+            continue
+        _collect_pragmas(ctx, known, findings)
+        contexts.append(ctx)
+
+    project = ProjectContext(contexts)
+    for ctx in contexts:
+        for rule in active:
+            if isinstance(rule, ProjectRule):
+                continue
+            for found in rule.check(ctx):
+                if respect_pragmas and _suppressed(ctx, found):
+                    continue
+                findings.append(found)
     for rule in active:
-        for found in rule.check(ctx):
-            if respect_pragmas and (
-                    found.rule in ctx.file_pragmas
-                    or found.rule in ctx.line_pragmas.get(found.line, ())):
+        if not isinstance(rule, ProjectRule):
+            continue
+        for found in rule.check_project(project):
+            ctx = project.by_path.get(found.path)
+            if respect_pragmas and ctx is not None \
+                    and _suppressed(ctx, found):
                 continue
             findings.append(found)
+
+    if require_justification:
+        for ctx in contexts:
+            for (line, rule_id), why in sorted(
+                    ctx.pragma_justifications.items()):
+                if not why:
+                    findings.append(Finding(
+                        rule=BARE_PRAGMA, path=ctx.path, line=line, col=1,
+                        message=f"pragma suppressing {rule_id} carries no "
+                                f"justification; add '-- why' or remove it"))
     return sorted(findings, key=lambda f: f.sort_key)
+
+
+def lint_source(source: str, path: str = "<string>", *,
+                rules: Optional[Sequence[Rule]] = None,
+                select: Optional[Iterable[str]] = None,
+                respect_pragmas: bool = True,
+                require_justification: bool = False) -> List[Finding]:
+    """Scan one module's source text; returns sorted findings."""
+    return lint_sources([(path, source)], rules=rules, select=select,
+                        respect_pragmas=respect_pragmas,
+                        require_justification=require_justification)
 
 
 def lint_file(path: str, **kwargs) -> List[Finding]:
@@ -271,16 +386,23 @@ def iter_python_files(paths: Iterable[str]) -> List[str]:
 
 
 def lint_paths(paths: Iterable[str], **kwargs) -> List[Finding]:
-    """Scan files and directory trees; returns sorted findings."""
-    findings: List[Finding] = []
+    """Scan files and directory trees *as one program*; sorted findings.
+
+    All files are parsed up front so whole-program rules see every
+    module: a probe in ``obs/`` calling a helper defined in ``cluster/``
+    is resolved across the file boundary.
+    """
+    entries: List[Tuple[str, str]] = []
     for filename in iter_python_files(paths):
-        findings.extend(lint_file(filename, **kwargs))
-    return sorted(findings, key=lambda f: f.sort_key)
+        with open(filename, "r", encoding="utf-8") as fh:
+            entries.append((filename, fh.read()))
+    return lint_sources(entries, **kwargs)
 
 
 __all__ = [
-    "Finding", "LintError", "ModuleContext", "Rule",
+    "Finding", "LintError", "ModuleContext", "ProjectContext",
+    "ProjectRule", "Rule",
     "all_rules", "dotted_name", "iter_python_files",
-    "lint_file", "lint_paths", "lint_source",
-    "SYNTAX_ERROR", "UNKNOWN_PRAGMA_RULE",
+    "lint_file", "lint_paths", "lint_source", "lint_sources",
+    "BARE_PRAGMA", "SYNTAX_ERROR", "UNKNOWN_PRAGMA_RULE",
 ]

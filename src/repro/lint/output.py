@@ -1,0 +1,163 @@
+"""Machine-readable renderers: ``--format json`` and ``--format sarif``.
+
+Both formats carry the same per-finding fields as the text output plus
+the line-content fingerprint from :mod:`repro.lint.baseline`, so a CI
+consumer can diff scan results across commits without relying on line
+numbers.  The SARIF output targets the 2.1.0 schema that code-scanning
+UIs (GitHub PR annotations among them) ingest directly: one run, the
+full rule table under ``tool.driver.rules``, one result per finding
+with a ``physicalLocation`` region and a ``partialFingerprints`` entry.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.baseline import (
+    SourceCache,
+    normalise_path,
+    compute_fingerprints,
+)
+from repro.lint.engine import (
+    BARE_PRAGMA,
+    Finding,
+    SYNTAX_ERROR,
+    UNKNOWN_PRAGMA_RULE,
+    all_rules,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://docs.oasis-open.org/sarif/sarif/v2.1.0/errata01/os/"
+                "schemas/sarif-schema-2.1.0.json")
+
+#: Engine diagnostics are not suppressible and block the scan outright.
+_ERROR_LEVEL_RULES = frozenset({SYNTAX_ERROR, UNKNOWN_PRAGMA_RULE,
+                                BARE_PRAGMA})
+
+_DIAGNOSTIC_TITLES = {
+    SYNTAX_ERROR: "file does not parse",
+    UNKNOWN_PRAGMA_RULE: "pragma names an unknown rule",
+    BARE_PRAGMA: "pragma carries no justification",
+}
+
+
+def _level(rule_id: str) -> str:
+    return "error" if rule_id in _ERROR_LEVEL_RULES else "warning"
+
+
+def _docstring_summary(obj: object) -> str:
+    doc = (getattr(obj, "__doc__", None) or "").strip()
+    if not doc:
+        return ""
+    paragraph: List[str] = []
+    for line in doc.splitlines():
+        if not line.strip():
+            break
+        paragraph.append(line.strip())
+    return " ".join(paragraph)
+
+
+def _rule_table(extra_ids: Sequence[str]) -> List[Dict[str, object]]:
+    """SARIF rule descriptors: every shipped rule, plus any engine
+    diagnostic ids that actually occur in the results."""
+    table: List[Dict[str, object]] = []
+    seen = set()
+    for rule in all_rules():
+        seen.add(rule.rule_id)
+        descriptor: Dict[str, object] = {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.title},
+            "defaultConfiguration": {"level": _level(rule.rule_id)},
+        }
+        summary = _docstring_summary(type(rule))
+        if summary:
+            descriptor["fullDescription"] = {"text": summary}
+        table.append(descriptor)
+    for rule_id in sorted(set(extra_ids) - seen):
+        table.append({
+            "id": rule_id,
+            "shortDescription": {
+                "text": _DIAGNOSTIC_TITLES.get(rule_id, rule_id)},
+            "defaultConfiguration": {"level": _level(rule_id)},
+        })
+    return table
+
+
+def render_json(findings: Sequence[Finding],
+                cache: Optional[SourceCache] = None) -> str:
+    prints = compute_fingerprints(findings, cache)
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "version": 1,
+        "tool": "repro.lint",
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": normalise_path(finding.path),
+                "line": finding.line,
+                "col": finding.col,
+                "level": _level(finding.rule),
+                "message": finding.message,
+                "fingerprint": print_,
+            }
+            for finding, print_ in zip(findings, prints)
+        ],
+        "counts": {rule: counts[rule] for rule in sorted(counts)},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(findings: Sequence[Finding],
+                 cache: Optional[SourceCache] = None) -> str:
+    prints = compute_fingerprints(findings, cache)
+    results: List[Dict[str, object]] = []
+    for finding, print_ in zip(findings, prints):
+        results.append({
+            "ruleId": finding.rule,
+            "level": _level(finding.rule),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": normalise_path(finding.path),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": max(finding.col, 1),
+                    },
+                },
+            }],
+            "partialFingerprints": {"reproLint/v1": print_},
+        })
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "rules": _rule_table([f.rule for f in findings]),
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    return "".join(finding.format() + "\n" for finding in findings)
+
+
+RENDERERS = {
+    "text": lambda findings, cache=None: render_text(findings),
+    "json": render_json,
+    "sarif": render_sarif,
+}
+
+
+__all__ = ["RENDERERS", "SARIF_SCHEMA", "SARIF_VERSION",
+           "render_json", "render_sarif", "render_text"]

@@ -1,0 +1,113 @@
+"""Tier 3: whole-program time-domain taint rules (TD01..TD03).
+
+Shard-local simulator clocks and the kernel's merged global clock
+differ by a per-source offset; host wall-clock time must never meet
+virtual time at all.  The repo's worst historical bugs are exactly
+cross-domain flows: a shard-local time compared against ``kernel.now``
+without the offset translation (PR 3's missing-offset raise), and a
+probe re-armed into a source's local past (PR 7's clamp).  These rules
+consume the interprocedural taint analysis in :mod:`repro.lint.dataflow`
+-- domains propagate through assignments, ``self`` attributes, returns,
+and call boundaries, so a local time laundered through a helper is
+flagged at the call site that injects it.
+
+* **TD01** -- comparison (``<``/``>=``/``max``/``min``) across domains;
+* **TD02** -- ``+``/``-`` across domains that is not the sanctioned
+  offset translation (``local + offset``, ``global - offset``);
+* **TD03** -- a time argument handed to a scheduler in the wrong
+  domain: ``kernel.schedule_at`` / ``schedule_probe`` /
+  ``schedule_on_shard`` take global time, a raw ``simulator.schedule_at``
+  takes local time, and wall-clock values never belong in any of them.
+
+The sanctioned translation surface is the same as SD03's: ``shard_now``
+/ ``schedule_on_shard`` / ``to_global`` / ``to_local`` and ``+/-
+<offset>`` arithmetic.  The simulator-owning layers (``net/``, the
+kernel, its runtime sanitizer) implement the translation and are out of
+scope.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lint.engine import Finding, ProjectContext, ProjectRule
+
+_REMEDY = {
+    "compare": "translate through shard_now()/to_global() before comparing",
+    "arith": "apply the source's offset (to_global()/to_local()) first",
+    "schedule": "convert with shard_now()/to_global() or use the relative "
+                "schedule(delay, ...) form",
+}
+
+
+class _TimeDomainRule(ProjectRule):
+    """Shared driver: report the taint events of one kind."""
+
+    kind: str = ""
+    verb: str = ""
+
+    def check_project(self, project: ProjectContext) -> List[Finding]:
+        findings: List[Finding] = []
+        for event in project.timeflow.events:
+            if event.kind != self.kind:
+                continue
+            where = f" ({event.detail})" if event.detail else ""
+            findings.append(Finding(
+                rule=self.rule_id, path=event.path, line=event.line,
+                col=event.col,
+                message=f"{self.verb} mixes {event.left} and {event.right} "
+                        f"time{where}; {_REMEDY[self.kind]}"))
+        return findings
+
+
+class RuleTD01(_TimeDomainRule):
+    """Cross-domain time comparison.
+
+    ``local < kernel.now`` orders two clocks that differ by a per-source
+    offset: the verdict flips with registration order and epoch history.
+    Includes ``max``/``min`` envelopes and comparisons reached through a
+    call boundary (a parameter the callee compares against a known
+    domain).
+    """
+
+    rule_id = "TD01"
+    title = "cross-domain time comparison"
+    kind = "compare"
+    verb = "comparison"
+
+
+class RuleTD02(_TimeDomainRule):
+    """Cross-domain time arithmetic.
+
+    ``global - local`` (outside the kernel) silently *is* an offset
+    computation -- almost always a bug standing in for a missing
+    translation; ``local + global`` is meaningless.  Adding or
+    subtracting a recognised per-source offset is the sanctioned
+    translation and is not flagged.
+    """
+
+    rule_id = "TD02"
+    title = "cross-domain time arithmetic"
+    kind = "arith"
+    verb = "arithmetic"
+
+
+class RuleTD03(_TimeDomainRule):
+    """Wrong-domain (or wall-clock) time handed to a scheduler.
+
+    Scheduling a shard-local instant on the kernel (or a global instant
+    on a raw per-shard simulator) lands the event offset-shifted --
+    possibly in the local past, the exact class the kernel's
+    ``schedule_probe`` clamp and the runtime sanitizer's past-scheduling
+    check contain at runtime.  This is the static tripwire for it.
+    """
+
+    rule_id = "TD03"
+    title = "wrong-domain time in a scheduling call"
+    kind = "schedule"
+    verb = "scheduling"
+
+
+TIMEDOMAIN_RULES = [RuleTD01, RuleTD02, RuleTD03]
+
+__all__ = ["TIMEDOMAIN_RULES", "RuleTD01", "RuleTD02", "RuleTD03"]

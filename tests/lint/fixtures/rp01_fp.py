@@ -1,0 +1,16 @@
+"""RP01 false positives: every stream's seed traces back to the root
+seed, either verbatim or through derive_seed()."""
+
+import random
+
+from repro.cluster.ring import derive_seed
+
+
+class DisciplinedGenerator:
+    def __init__(self, seed, config):
+        self._rng = random.Random(seed)
+        self._latency = random.Random(derive_seed(seed, "latency"))
+        self._workload = random.Random(config.workload_seed)
+
+    def spawn(self, label):
+        return random.Random(derive_seed(self.base_seed, "child", label))

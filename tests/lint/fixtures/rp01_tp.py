@@ -1,0 +1,13 @@
+"""RP01 true positives: RNG streams whose seed is not derived from the
+experiment's root seed, and mid-run re-seeding of a live stream."""
+
+import random
+
+
+class AdHocGenerator:
+    def __init__(self, config):
+        self._rng = random.Random(1234)  # literal seed: unreproducible
+        self._alt = random.Random(config.epoch)  # not a seed derivation
+
+    def reset(self):
+        self._rng.seed(99)  # re-seeding rewinds the draw sequence

@@ -1,0 +1,19 @@
+"""RP02 false positives: independent derived streams per consumer, and
+draws on a stream that never escapes twice."""
+
+import random
+
+from repro.cluster.ring import derive_seed
+
+
+def build_models(seed):
+    latency = LatencyModel(random.Random(derive_seed(seed, "latency")))
+    workload = WorkloadFeed(random.Random(derive_seed(seed, "workload")))
+    return latency, workload
+
+
+def single_owner(seed, items):
+    rng = random.Random(seed)
+    rng.shuffle(items)  # draws on the stream itself are not escapes
+    first = rng.choice(items)
+    return Sampler(rng), first  # exactly one consumer owns the stream

@@ -1,0 +1,22 @@
+"""RP02 true positives: one RNG stream escaping to two independent
+consumers -- their draw sequences interleave, so adding a draw in one
+silently perturbs the other."""
+
+import random
+
+
+def build_models(seed):
+    rng = random.Random(seed)
+    latency = LatencyModel(rng)
+    workload = WorkloadFeed(rng)  # second consumer of the same stream
+    return latency, workload
+
+
+class SharedHolder:
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+
+    def wire(self, repair_factory, probe_factory):
+        repair = repair_factory(self._rng)
+        probe = probe_factory(self._rng)  # second consumer
+        return repair, probe

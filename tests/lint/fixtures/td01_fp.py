@@ -1,0 +1,28 @@
+"""TD01 false positives: comparisons stay inside one domain, or cross
+only after the sanctioned offset translation."""
+
+
+class PacedProbe:
+    def __init__(self, simulator, kernel, router, source):
+        self.simulator = simulator
+        self.kernel = kernel
+        self.router = router
+        self.source = source
+        self.offset = 0.0
+
+    def behind(self):
+        # local -> global through the source offset, then compare.
+        translated = self.simulator.now + self.offset
+        return translated < self.kernel.now
+
+    def shard_lag(self, key):
+        # shard_now() already answers in global time.
+        return self.router.shard_now(key) <= self.kernel.now
+
+    def local_deadline(self, deadline):
+        # global -> local through the sanctioned accessor.
+        local = self.source.to_local(deadline)
+        return local < self.simulator.now
+
+    def envelope(self, other_global):
+        return max(self.kernel.now, other_global)

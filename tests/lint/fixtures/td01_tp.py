@@ -1,0 +1,27 @@
+"""TD01 true positives: shard-local time compared against global time.
+
+The two clocks differ by a per-source offset, so every one of these
+verdicts flips with source registration order and epoch history.
+"""
+
+
+def deadline_passed(stamp, kernel):
+    # Callee compares its parameter against the kernel clock; the
+    # caller below injects a shard-local value through it.
+    return stamp >= kernel.now
+
+
+class LagProbe:
+    def __init__(self, simulator, kernel):
+        self.simulator = simulator
+        self.kernel = kernel
+
+    def behind(self):
+        return self.simulator.now < self.kernel.now  # direct cross-compare
+
+    def horizon(self):
+        return max(self.simulator.now, self.kernel.now)  # max() envelope
+
+    def check(self):
+        stamp = self.simulator.now
+        return deadline_passed(stamp, self.kernel)  # flagged at this call

@@ -1,0 +1,25 @@
+"""TD02 false positives: sanctioned offset translation and same-domain
+durations."""
+
+
+class PacedScheduler:
+    def __init__(self, simulator, kernel):
+        self.simulator = simulator
+        self.kernel = kernel
+        self.offset = 0.0
+
+    def to_global_by_hand(self):
+        # Adding the recognised per-source offset IS the translation.
+        return self.simulator.now + self.offset
+
+    def to_local_by_hand(self, deadline):
+        return deadline - self.offset
+
+    def rearm(self, start_global):
+        # Same-domain subtraction is a duration, which is domain-free
+        # and may be added back onto either clock.
+        elapsed = self.kernel.now - start_global
+        return self.kernel.now + elapsed
+
+    def local_step(self):
+        return self.simulator.now + 0.25

@@ -1,0 +1,15 @@
+"""TD02 true positives: arithmetic across time domains that is not the
+sanctioned offset translation."""
+
+
+class DriftEstimator:
+    def __init__(self, simulator, kernel):
+        self.simulator = simulator
+        self.kernel = kernel
+
+    def guess_offset(self):
+        # A hand-rolled offset computation standing in for to_global().
+        return self.kernel.now - self.simulator.now
+
+    def merged(self):
+        return self.simulator.now + self.kernel.now  # meaningless sum

@@ -1,0 +1,22 @@
+"""TD03 false positives: schedulers fed time in their own domain, or
+the relative schedule(delay, ...) form."""
+
+
+class PacedScheduler:
+    def __init__(self, simulator, kernel, router):
+        self.simulator = simulator
+        self.kernel = kernel
+        self.router = router
+
+    def arm_on_kernel(self, key, callback):
+        self.kernel.schedule_at(self.router.shard_now(key), callback)
+
+    def arm_probe(self, probe):
+        self.kernel.schedule_probe(self.kernel.now, probe)
+
+    def arm_local(self, callback):
+        self.simulator.schedule_at(self.simulator.peek_time(), callback)
+
+    def arm_relative(self, callback):
+        # The relative form needs no translation at all.
+        self.simulator.schedule(0.25, callback)

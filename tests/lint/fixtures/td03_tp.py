@@ -1,0 +1,21 @@
+"""TD03 true positives: a time argument handed to a scheduler in the
+wrong domain -- the event lands offset-shifted, possibly in the past."""
+
+
+class MisScheduler:
+    def __init__(self, simulator, kernel, router):
+        self.simulator = simulator
+        self.kernel = kernel
+        self.router = router
+
+    def arm_on_kernel(self, callback):
+        # kernel.schedule_at takes GLOBAL time; this hands it local.
+        self.kernel.schedule_at(self.simulator.now, callback)
+
+    def arm_on_shard_sim(self, callback):
+        # A raw per-shard simulator schedules in LOCAL time.
+        self.simulator.schedule_at(self.kernel.now, callback)
+
+    def arm_via_router(self, key, callback):
+        # schedule_on_shard's `at` is global; local leaks through.
+        self.router.schedule_on_shard(key, self.simulator.now, callback)

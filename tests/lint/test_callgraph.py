@@ -1,0 +1,154 @@
+"""Unit tests for the project symbol table / call graph.
+
+Covers name resolution across import aliases and module boundaries,
+fixpoint termination on recursive and mutually-recursive call cycles,
+purity propagation with witness chains, and the precision guarantee
+(ambiguous method names produce no edge rather than a wrong one).
+"""
+
+from __future__ import annotations
+
+from repro.lint import engine
+from repro.lint.engine import ProjectContext, lint_sources
+
+
+def _project(files):
+    contexts = []
+    for path, source in files.items():
+        ctx, error = engine._build_context(source, path)
+        assert error is None, error
+        contexts.append(ctx)
+    return ProjectContext(contexts)
+
+
+def _function(index, name):
+    matches = [f for f in index.functions if f.name == name]
+    assert len(matches) == 1, f"{name}: {matches}"
+    return matches[0]
+
+
+def test_local_call_resolves_to_module_function():
+    project = _project({"mod.py": (
+        "def helper():\n"
+        "    return 1\n"
+        "def caller():\n"
+        "    return helper()\n"
+    )})
+    index = project.index
+    caller = _function(index, "caller")
+    edges = index.precise_callees(caller)
+    assert [callee.name for _, callee in edges] == ["helper"]
+
+
+def test_import_alias_resolves_across_modules():
+    project = _project({
+        "pkg/util.py": (
+            "def compute():\n"
+            "    return 7\n"
+        ),
+        "pkg/main.py": (
+            "from pkg.util import compute as crunch\n"
+            "def driver():\n"
+            "    return crunch()\n"
+        ),
+    })
+    index = project.index
+    driver = _function(index, "driver")
+    edges = index.precise_callees(driver)
+    assert len(edges) == 1
+    _, callee = edges[0]
+    assert callee.name == "compute"
+    assert callee.ctx.path == "pkg/util.py"
+
+
+def test_self_method_call_resolves_within_class():
+    project = _project({"mod.py": (
+        "class Box:\n"
+        "    def inner(self):\n"
+        "        return 0\n"
+        "    def outer(self):\n"
+        "        return self.inner()\n"
+    )})
+    index = project.index
+    outer = _function(index, "outer")
+    edges = index.precise_callees(outer)
+    assert [callee.qualname for _, callee in edges] == ["mod:Box.inner"]
+
+
+def test_ambiguous_method_name_produces_no_precise_edge():
+    project = _project({"mod.py": (
+        "class A:\n"
+        "    def poke(self):\n"
+        "        return 1\n"
+        "class B:\n"
+        "    def poke(self):\n"
+        "        return 2\n"
+        "def caller(thing):\n"
+        "    return thing.poke()\n"
+    )})
+    index = project.index
+    caller = _function(index, "caller")
+    assert index.precise_callees(caller) == []
+
+
+def test_purity_fixpoint_terminates_on_mutual_recursion():
+    project = _project({"mod.py": (
+        "def ping(n):\n"
+        "    return pong(n - 1)\n"
+        "def pong(n):\n"
+        "    return ping(n - 1)\n"
+        "def solo(n):\n"
+        "    return solo(n - 1)\n"
+    )})
+    purity = project.purity
+    assert purity == {}  # pure cycle converges to pure, and terminates
+
+
+def test_purity_propagates_with_witness_chain():
+    project = _project({"mod.py": (
+        "def deep(router):\n"
+        "    router.invoke_write('k', b'v')\n"
+        "def shallow(router):\n"
+        "    deep(router)\n"
+        "def top(router):\n"
+        "    shallow(router)\n"
+    )})
+    index = project.index
+    purity = project.purity
+    top = _function(index, "top")
+    assert top in purity
+    # The witness chain walks from the first hop down to the syntactic
+    # mutation site.
+    assert purity[top] == ["shallow()", "deep()", ".invoke_write()"]
+
+
+def test_sd01_flags_transitive_mutation_across_modules():
+    findings = lint_sources([
+        ("cluster/helpers.py",
+         "def drain(router):\n"
+         "    router.flush_key('k')\n"),
+        ("obs/probe.py",
+         "from cluster.helpers import drain\n"
+         "class Probe:\n"
+         "    def tick(self, router):\n"
+         "        drain(router)\n"),
+    ])
+    assert [f.rule for f in findings] == ["SD01"]
+    finding = findings[0]
+    assert finding.path == "obs/probe.py"
+    assert "drain()" in finding.message
+    assert ".flush_key()" in finding.message
+
+
+def test_sd01_transitive_respects_pragma_in_owning_module():
+    findings = lint_sources([
+        ("cluster/helpers.py",
+         "def drain(router):\n"
+         "    router.flush_key('k')\n"),
+        ("obs/probe.py",
+         "from cluster.helpers import drain\n"
+         "class Probe:\n"
+         "    def tick(self, router):\n"
+         "        drain(router)  # simlint: disable=SD01 -- drill harness\n"),
+    ])
+    assert findings == []

@@ -1,0 +1,144 @@
+"""Unit tests for the interprocedural time-domain taint analysis.
+
+Exercises the propagation machinery directly (summaries, attribute
+domains, loop re-passes, branch merges) and end-to-end through
+``lint_sources`` for cross-module flows.
+"""
+
+from __future__ import annotations
+
+from repro.lint import engine
+from repro.lint.dataflow import GLOBAL, LOCAL
+from repro.lint.engine import ProjectContext, lint_sources
+
+
+def _project(files):
+    contexts = []
+    for path, source in files.items():
+        ctx, error = engine._build_context(source, path)
+        assert error is None, error
+        contexts.append(ctx)
+    return ProjectContext(contexts)
+
+
+def _summary(project, name):
+    index = project.index
+    matches = [f for f in index.functions if f.name == name]
+    assert len(matches) == 1
+    return project.timeflow.summaries[matches[0]]
+
+
+def test_return_domain_propagates_through_helper():
+    project = _project({"mod.py": (
+        "def read_clock(kernel):\n"
+        "    return kernel.now\n"
+        "def compare(simulator, kernel):\n"
+        "    return simulator.now < read_clock(kernel)\n"
+    )})
+    assert _summary(project, "read_clock").return_domain == GLOBAL
+    events = project.timeflow.events
+    assert [(e.kind, e.line) for e in events] == [("compare", 4)]
+    assert {events[0].left, events[0].right} == {LOCAL, GLOBAL}
+
+
+def test_parameter_expectation_recorded_from_callee_comparison():
+    project = _project({"mod.py": (
+        "def overdue(stamp, kernel):\n"
+        "    return stamp >= kernel.now\n"
+    )})
+    summary = _summary(project, "overdue")
+    assert summary.expectations == {0: (GLOBAL, "compare")}
+
+
+def test_cross_module_return_domain_flows_to_caller():
+    findings = lint_sources([
+        ("clocks/reader.py",
+         "def global_stamp(kernel):\n"
+         "    return kernel.now\n"),
+        ("app/main.py",
+         "from clocks.reader import global_stamp\n"
+         "def lag(simulator, kernel):\n"
+         "    return simulator.now - global_stamp(kernel)\n"),
+    ], select=["TD01", "TD02", "TD03"])
+    assert [(f.rule, f.path, f.line) for f in findings] == [
+        ("TD02", "app/main.py", 3)]
+
+
+def test_self_attribute_domains_flow_between_methods():
+    findings = lint_sources([("mod.py", (
+        "class Tracker:\n"
+        "    def stamp(self):\n"
+        "        self._mark = self.simulator.now\n"
+        "    def overdue(self, kernel):\n"
+        "        return self._mark < kernel.now\n"
+    ))], select=["TD01"])
+    assert [(f.rule, f.line) for f in findings] == [("TD01", 5)]
+
+
+def test_conflicting_attribute_assignments_poison_the_domain():
+    # The attribute is written in both domains; the analysis must not
+    # pick one arbitrarily, so the later comparison stays unflagged.
+    findings = lint_sources([("mod.py", (
+        "class Tracker:\n"
+        "    def a(self):\n"
+        "        self._mark = self.simulator.now\n"
+        "    def b(self, kernel):\n"
+        "        self._mark = kernel.now\n"
+        "    def check(self, kernel):\n"
+        "        return self._mark < kernel.now\n"
+    ))], select=["TD01", "TD02", "TD03"])
+    assert findings == []
+
+
+def test_branch_merge_keeps_agreeing_domain():
+    findings = lint_sources([("mod.py", (
+        "def pick(flag, simulator, kernel):\n"
+        "    if flag:\n"
+        "        t = simulator.now\n"
+        "    else:\n"
+        "        t = simulator.peek_time()\n"
+        "    return t < kernel.now\n"
+    ))], select=["TD01"])
+    assert [(f.rule, f.line) for f in findings] == [("TD01", 6)]
+
+
+def test_loop_second_pass_sees_back_edge_assignment():
+    findings = lint_sources([("mod.py", (
+        "def poll(simulator, kernel):\n"
+        "    stamp = 0.0\n"
+        "    while True:\n"
+        "        late = stamp < kernel.now\n"
+        "        stamp = simulator.now\n"
+    ))], select=["TD01"])
+    assert [(f.rule, f.line) for f in findings] == [("TD01", 4)]
+
+
+def test_offset_translation_is_sanctioned():
+    findings = lint_sources([("mod.py", (
+        "def translate(simulator, kernel, offset):\n"
+        "    return (simulator.now + offset) < kernel.now\n"
+    ))], select=["TD01", "TD02"])
+    assert findings == []
+
+
+def test_simulator_layer_is_out_of_scope():
+    findings = lint_sources([("net/pump.py", (
+        "def drain(simulator, kernel):\n"
+        "    return simulator.now < kernel.now\n"
+    ))], select=["TD01", "TD02", "TD03"])
+    assert findings == []
+
+
+def test_wrong_domain_schedule_flagged_at_injecting_call_site():
+    findings = lint_sources([
+        ("sched/helper.py",
+         "def arm(kernel, at, callback):\n"
+         "    kernel.schedule_at(at, callback)\n"),
+        ("app/main.py",
+         "from sched.helper import arm\n"
+         "def rearm(simulator, kernel, callback):\n"
+         "    arm(kernel, simulator.now, callback)\n"),
+    ], select=["TD03"])
+    assert [(f.rule, f.path, f.line) for f in findings] == [
+        ("TD03", "app/main.py", 3)]
+    assert "arm()" in findings[0].message

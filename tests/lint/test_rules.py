@@ -23,10 +23,15 @@ CASES = {
     "nd03": ("ND03", 4),
     "nd04": ("ND04", 3),
     "nd05": ("ND05", 4),
+    "rp01": ("RP01", 3),
+    "rp02": ("RP02", 2),
     "sd01": ("SD01", 3),
     "sd02": ("SD02", 2),
     "sd03": ("SD03", 4),
     "sd04": ("SD04", 5),
+    "td01": ("TD01", 3),
+    "td02": ("TD02", 2),
+    "td03": ("TD03", 3),
 }
 
 #: Rules scoped by path live under a matching fixture subdirectory:

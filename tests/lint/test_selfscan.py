@@ -32,8 +32,16 @@ def test_list_rules_names_every_shipped_rule():
     result = _run("--list-rules")
     assert result.returncode == 0
     for rule_id in ("ND01", "ND02", "ND03", "ND04", "ND05",
-                    "SD01", "SD02", "SD03"):
+                    "RP01", "RP02",
+                    "SD01", "SD02", "SD03", "SD04",
+                    "TD01", "TD02", "TD03"):
         assert rule_id in result.stdout
+
+
+def test_new_families_scan_src_clean():
+    result = _run("--select", "TD01,TD02,TD03,RP01,RP02",
+                  os.path.join(SRC, "repro"))
+    assert result.returncode == 0, result.stdout + result.stderr
 
 
 def test_findings_set_a_nonzero_exit(tmp_path):
